@@ -1,0 +1,79 @@
+//! Uniform random search — the canonical "other search techniques can be
+//! added" demonstration for the §VI ensemble (and a strong baseline for
+//! tuning-regret comparisons).
+
+use crate::space::{TuningConfig, TuningSpace};
+use crate::tuner::Searcher;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Proposes uniformly random lattice points.
+#[derive(Debug)]
+pub struct RandomSearch {
+    space: TuningSpace,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates the searcher.
+    ///
+    /// # Panics
+    /// Panics if the space is empty.
+    pub fn new(space: TuningSpace, seed: u64) -> Self {
+        assert!(!space.is_empty(), "empty tuning space");
+        RandomSearch { space, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Searcher for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn propose(&mut self) -> TuningConfig {
+        self.space.index(self.rng.random_range(0..self.space.len()))
+    }
+
+    fn observe(&mut self, _cfg: &TuningConfig, _value: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::Tuner;
+
+    #[test]
+    fn proposals_cover_the_space_eventually() {
+        let space = TuningSpace::default();
+        let n = space.len();
+        let mut rs = RandomSearch::new(space, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n * 30 {
+            seen.insert(format!("{}", rs.propose()));
+        }
+        assert!(seen.len() > n * 9 / 10, "covered only {}/{n}", seen.len());
+    }
+
+    #[test]
+    fn plugs_into_the_ensemble() {
+        // §VI: "other search techniques can be added" — a fifth arm works.
+        let space = TuningSpace::default();
+        let searchers: Vec<Box<dyn Searcher>> = vec![
+            Box::new(crate::GridSearch::new(space.clone())),
+            Box::new(RandomSearch::new(space.clone(), 5)),
+        ];
+        let mut tuner = Tuner::with_searchers(space, searchers);
+        let report = tuner.run(&mut |c: &TuningConfig| (c.streams as f64 - 8.0).abs(), 60);
+        assert_eq!(report.best.streams, 8);
+        assert!(report.usage.iter().any(|(n, u)| n == "random" && *u > 0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = RandomSearch::new(TuningSpace::default(), 9);
+        let mut b = RandomSearch::new(TuningSpace::default(), 9);
+        for _ in 0..20 {
+            assert_eq!(a.propose(), b.propose());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The ensemble tuner: a bandit over search techniques (§VI).
+
+use crate::mab::MetaSolver;
+use crate::space::{TuningConfig, TuningSpace};
+use crate::{BayesOpt, GridSearch, Hyperband, PopulationTraining};
+use serde::{Deserialize, Serialize};
+
+/// Something that can score a configuration. Lower is better (e.g. measured
+/// iteration seconds on the simulated cluster).
+pub trait Objective {
+    /// Runs one warm-up training iteration (or equivalent) under `cfg` and
+    /// returns its cost.
+    fn evaluate(&mut self, cfg: &TuningConfig) -> f64;
+}
+
+impl<F: FnMut(&TuningConfig) -> f64> Objective for F {
+    fn evaluate(&mut self, cfg: &TuningConfig) -> f64 {
+        self(cfg)
+    }
+}
+
+/// A search technique pluggable into the ensemble.
+///
+/// Observations are shared: every searcher sees every result (the ensemble
+/// keeps one global results database, as in OpenTuner \[28\]).
+pub trait Searcher {
+    /// Technique name for credit-assignment reports.
+    fn name(&self) -> &str;
+    /// The next configuration to try.
+    fn propose(&mut self) -> TuningConfig;
+    /// A result became available (possibly from another technique).
+    fn observe(&mut self, cfg: &TuningConfig, value: f64);
+}
+
+/// One warm-up evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The configuration tried.
+    pub config: TuningConfig,
+    /// Its measured cost.
+    pub value: f64,
+    /// Which technique proposed it.
+    pub searcher: String,
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneReport {
+    /// Best configuration found.
+    pub best: TuningConfig,
+    /// Its cost.
+    pub best_value: f64,
+    /// Every warm-up evaluation in order (these iterations still trained the
+    /// model — no cycles wasted, §VI).
+    pub evaluations: Vec<Evaluation>,
+    /// How often the bandit chose each technique.
+    pub usage: Vec<(String, usize)>,
+}
+
+/// The §VI auto-tuner: a multi-armed bandit allocating warm-up iterations
+/// among an ensemble of search techniques.
+///
+/// # Example
+/// ```
+/// use aiacc_autotune::{Tuner, TuningSpace};
+/// let mut tuner = Tuner::new(TuningSpace::default(), 1);
+/// let report = tuner.run(
+///     &mut |cfg: &aiacc_autotune::TuningConfig| 1.0 / cfg.streams as f64,
+///     40,
+/// );
+/// assert_eq!(report.best.streams, 32); // more streams = lower cost here
+/// ```
+pub struct Tuner {
+    space: TuningSpace,
+    searchers: Vec<Box<dyn Searcher>>,
+    meta: MetaSolver,
+}
+
+impl std::fmt::Debug for Tuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tuner")
+            .field("space", &self.space)
+            .field("searchers", &self.searchers.iter().map(|s| s.name().to_string()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Tuner {
+    /// The paper's default ensemble: grid search, population-based training,
+    /// Bayesian optimization and Hyperband (k = 4).
+    pub fn new(space: TuningSpace, seed: u64) -> Self {
+        let searchers: Vec<Box<dyn Searcher>> = vec![
+            Box::new(GridSearch::new(space.clone())),
+            Box::new(PopulationTraining::new(space.clone(), 8, seed ^ 0x9E37)),
+            Box::new(BayesOpt::new(space.clone(), seed ^ 0xB5C4)),
+            Box::new(Hyperband::new(space.clone(), seed ^ 0x1F12)),
+        ];
+        Tuner::with_searchers(space, searchers)
+    }
+
+    /// Custom ensemble (used by the meta-solver ablation bench).
+    ///
+    /// # Panics
+    /// Panics if `searchers` is empty.
+    pub fn with_searchers(space: TuningSpace, searchers: Vec<Box<dyn Searcher>>) -> Self {
+        assert!(!searchers.is_empty(), "need at least one searcher");
+        Tuner { space, searchers, meta: MetaSolver::default() }
+    }
+
+    /// The space being searched.
+    pub fn space(&self) -> &TuningSpace {
+        &self.space
+    }
+
+    /// Runs `budget` warm-up evaluations and returns the best configuration
+    /// (the paper's n = 100 by default).
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn run(&mut self, objective: &mut dyn Objective, budget: usize) -> TuneReport {
+        self.run_with_prior(objective, budget, None)
+    }
+
+    /// Like [`run`](Self::run), but evaluates a warm-start `prior` first
+    /// (the previously-found best setting of a similar deployment, §VI);
+    /// the prior counts against the budget and its result is shared with
+    /// every searcher.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn run_with_prior(
+        &mut self,
+        objective: &mut dyn Objective,
+        budget: usize,
+        prior: Option<TuningConfig>,
+    ) -> TuneReport {
+        assert!(budget > 0, "budget must be positive");
+        let mut evaluations = Vec::with_capacity(budget);
+        let mut usage = vec![0usize; self.searchers.len()];
+        let mut best: Option<(TuningConfig, f64)> = None;
+
+        if let Some(cfg) = prior {
+            let value = objective.evaluate(&cfg);
+            best = Some((cfg, value));
+            for s in &mut self.searchers {
+                s.observe(&cfg, value);
+            }
+            evaluations.push(Evaluation { config: cfg, value, searcher: "warm-start".to_string() });
+        }
+
+        while evaluations.len() < budget {
+            let t = self.meta.select(self.searchers.len());
+            usage[t] += 1;
+            let cfg = self.searchers[t].propose();
+            let value = objective.evaluate(&cfg);
+            let improved = best.as_ref().is_none_or(|&(_, b)| value < b);
+            if improved {
+                best = Some((cfg, value));
+            }
+            self.meta.record(t, improved);
+            for s in &mut self.searchers {
+                s.observe(&cfg, value);
+            }
+            evaluations.push(Evaluation {
+                config: cfg,
+                value,
+                searcher: self.searchers[t].name().to_string(),
+            });
+        }
+
+        let (best, best_value) = best.expect("budget > 0");
+        TuneReport {
+            best,
+            best_value,
+            evaluations,
+            usage: self
+                .searchers
+                .iter()
+                .zip(usage)
+                .map(|(s, u)| (s.name().to_string(), u))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TuneAlgo;
+
+    /// A synthetic response surface with a known optimum and mild curvature:
+    /// best at 16 streams, 32 MiB, ring.
+    fn surface(cfg: &TuningConfig) -> f64 {
+        let s = (cfg.streams as f64).log2();
+        let g = (cfg.granularity / (1024.0 * 1024.0)).log2();
+        let algo_penalty = if cfg.algo == TuneAlgo::Tree { 0.3 } else { 0.0 };
+        (s - 4.0).powi(2) * 0.1 + (g - 5.0).powi(2) * 0.05 + algo_penalty
+    }
+
+    #[test]
+    fn finds_the_optimum_with_default_budget() {
+        let mut tuner = Tuner::new(TuningSpace::default(), 42);
+        let report = tuner.run(&mut surface, 100);
+        assert_eq!(report.best.streams, 16, "best={}", report.best);
+        assert_eq!(report.best.granularity, 32.0 * 1024.0 * 1024.0);
+        assert_eq!(report.best.algo, TuneAlgo::Ring);
+    }
+
+    #[test]
+    fn every_technique_gets_used() {
+        let mut tuner = Tuner::new(TuningSpace::default(), 7);
+        let report = tuner.run(&mut surface, 100);
+        for (name, count) in &report.usage {
+            assert!(*count > 0, "technique {name} never used");
+        }
+        assert_eq!(report.evaluations.len(), 100);
+    }
+
+    #[test]
+    fn best_value_is_minimum_of_evaluations() {
+        let mut tuner = Tuner::new(TuningSpace::default(), 3);
+        let report = tuner.run(&mut surface, 50);
+        let min = report.evaluations.iter().map(|e| e.value).fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best_value, min);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut tuner = Tuner::new(TuningSpace::default(), seed);
+            tuner.run(&mut surface, 60).best
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn single_searcher_ensemble_works() {
+        let space = TuningSpace::default();
+        let searchers: Vec<Box<dyn Searcher>> = vec![Box::new(GridSearch::new(space.clone()))];
+        let mut tuner = Tuner::with_searchers(space, searchers);
+        let report = tuner.run(&mut surface, 144);
+        // Full grid enumeration must find the exact optimum.
+        assert_eq!(report.best.streams, 16);
+    }
+}

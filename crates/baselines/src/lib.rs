@@ -1,0 +1,33 @@
+//! Baseline DDL communication frameworks, modelled behaviourally on the same
+//! simulated substrate as AIACC-Training.
+//!
+//! The paper compares against Horovod v0.23, PyTorch-DDP v1.10 and BytePS
+//! v0.2 (§VII-C), plus MXNet's parameter-server KVStore (§VIII-B). Each is
+//! implemented as a [`aiacc_core::ddl::DdlEngine`] with the characteristic
+//! that limits it:
+//!
+//! * [`HorovodEngine`] — master-coordinated negotiation cycles with per-
+//!   message coordinator cost (the scaling bottleneck of §III/§VIII-C), a
+//!   64 MB fusion buffer, and **one** outstanding all-reduce on **one**
+//!   communication stream (so the single-flow rate cap bites).
+//! * [`DdpEngine`] — PyTorch DistributedDataParallel: 25 MB buckets in
+//!   reverse registration order, launched in order on a single stream, no
+//!   master but also no concurrency.
+//! * [`BytePsEngine`] — push/pull to co-located parameter servers; each
+//!   server NIC carries `(W − g)/S` of every gradient, oversubscribing at
+//!   scale unless extra CPU servers are paid for (§VIII-A).
+//! * [`KvStoreEngine`] — MXNet's key-value store: whole gradients hashed to
+//!   one server each, creating hot spots on large tensors (§VIII-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod byteps;
+mod ddp;
+mod horovod;
+mod kvstore;
+
+pub use byteps::{BytePsConfig, BytePsEngine};
+pub use ddp::{DdpConfig, DdpEngine};
+pub use horovod::{HorovodConfig, HorovodEngine};
+pub use kvstore::{KvStoreConfig, KvStoreEngine};

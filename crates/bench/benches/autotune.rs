@@ -1,0 +1,43 @@
+//! Benchmarks of the auto-tuning machinery (§VI).
+
+use aiacc_autotune::cache::{graph_edit_distance, GraphSig};
+use aiacc_autotune::{MetaSolver, Tuner, TuningConfig, TuningSpace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_surface(cfg: &TuningConfig) -> f64 {
+    let s = (cfg.streams as f64).log2();
+    let g = (cfg.granularity / (1024.0 * 1024.0)).log2();
+    (s - 4.0).powi(2) * 0.1 + (g - 5.0).powi(2) * 0.05
+}
+
+fn bench_tuner(c: &mut Criterion) {
+    c.bench_function("autotune/ensemble_40_evals_synthetic", |b| {
+        b.iter(|| {
+            let mut tuner = Tuner::new(TuningSpace::default(), 7);
+            let report = tuner.run(&mut synthetic_surface, 40);
+            black_box(report.best.streams)
+        })
+    });
+}
+
+fn bench_meta_solver(c: &mut Criterion) {
+    c.bench_function("autotune/mab_select_after_1000_events", |b| {
+        let mut m = MetaSolver::default();
+        for i in 0..1000 {
+            m.record(i % 4, i % 13 == 0);
+        }
+        b.iter(|| black_box(m.select(4)))
+    });
+}
+
+fn bench_ged(c: &mut Criterion) {
+    let a = GraphSig((0..600).map(|i| format!("k{}", i % 6)).collect());
+    let b2 = GraphSig((0..580).map(|i| format!("k{}", (i + 1) % 6)).collect());
+    c.bench_function("autotune/graph_edit_distance_600", |b| {
+        b.iter(|| black_box(graph_edit_distance(&a, &b2)))
+    });
+}
+
+criterion_group!(benches, bench_tuner, bench_meta_solver, bench_ged);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Benchmarks of the core engine machinery: sync vectors, packing, and one
+//! full simulated iteration per framework.
+
+use aiacc_cluster::ClusterSpec;
+use aiacc_core::packing::{pack_units, ReduceTracker};
+use aiacc_core::{GradientRegistry, SyncVector};
+use aiacc_dnn::{zoo, DType, GradId};
+use aiacc_trainer::{EngineKind, TrainingSim, TrainingSimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_syncvec(c: &mut Criterion) {
+    c.bench_function("core/syncvec_intersect_32x1206", |b| {
+        let mut vs: Vec<SyncVector> = (0..32).map(|_| SyncVector::new(1206)).collect();
+        for (w, v) in vs.iter_mut().enumerate() {
+            for i in 0..1206 {
+                if (i + w) % 7 != 0 {
+                    v.set(GradId(i as u32));
+                }
+            }
+        }
+        b.iter(|| black_box(SyncVector::intersect_all(&vs).count_ready()))
+    });
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let registry = GradientRegistry::from_profile(&zoo::bert_large(), DType::F32);
+    let ids: Vec<GradId> = registry.iter().map(|g| g.id).collect();
+    c.bench_function("core/pack_bert_32MiB_units", |b| {
+        b.iter(|| {
+            let (full, partial) =
+                pack_units(&registry, ids.iter().copied(), 32.0 * 1024.0 * 1024.0);
+            black_box((full.len(), partial.is_some()))
+        })
+    });
+    c.bench_function("core/tracker_complete_all", |b| {
+        let (full, partial) = pack_units(&registry, ids.iter().copied(), 32.0 * 1024.0 * 1024.0);
+        b.iter(|| {
+            let mut tracker = ReduceTracker::new(&registry);
+            for u in &full {
+                tracker.complete_unit(u);
+            }
+            if let Some(p) = &partial {
+                tracker.complete_unit(p);
+            }
+            black_box(tracker.all_done())
+        })
+    });
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    for (name, engine) in [
+        ("aiacc", EngineKind::aiacc_default()),
+        ("horovod", EngineKind::Horovod(Default::default())),
+        ("ddp", EngineKind::PyTorchDdp(Default::default())),
+    ] {
+        c.bench_function(&format!("sim/iteration_resnet50_16gpu_{name}"), |b| {
+            b.iter(|| {
+                let mut sim = TrainingSim::new(TrainingSimConfig::new(
+                    ClusterSpec::tcp_v100(16),
+                    zoo::resnet50(),
+                    engine,
+                ));
+                black_box(sim.run_iteration().as_secs_f64())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_syncvec, bench_packing, bench_iteration);
+criterion_main!(benches);

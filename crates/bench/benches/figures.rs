@@ -1,0 +1,45 @@
+//! One criterion entry per paper table/figure, at reduced scale, so
+//! `cargo bench` regenerates a quick version of every experiment and tracks
+//! the cost of producing it.
+
+use aiacc_bench::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| b.iter(|| black_box(table1_models().rows.len())));
+    group.bench_function("bandwidth", |b| {
+        b.iter(|| black_box(bandwidth_utilization().rows.len()))
+    });
+    group.bench_function("fig2_quick", |b| {
+        b.iter(|| black_box(fig2_motivation(QUICK_GPU_SWEEP).rows.len()))
+    });
+    group.bench_function("fig9_quick", |b| {
+        b.iter(|| black_box(fig9_cv(&[8, 32]).rows.len()))
+    });
+    group.bench_function("fig10_quick", |b| {
+        b.iter(|| black_box(fig10_nlp(&[16]).rows.len()))
+    });
+    group.bench_function("fig11_quick", |b| {
+        b.iter(|| black_box(fig11_tensorflow(&[16]).rows.len()))
+    });
+    group.bench_function("fig12_quick", |b| {
+        b.iter(|| black_box(fig12_mxnet(&[16]).rows.len()))
+    });
+    group.bench_function("fig13_quick", |b| {
+        b.iter(|| black_box(fig13_hybrid(&[16, 32]).rows.len()))
+    });
+    group.bench_function("fig14", |b| b.iter(|| black_box(fig14_batch_sweep().rows.len())));
+    group.bench_function("fig15", |b| b.iter(|| black_box(fig15_rdma().rows.len())));
+    group.bench_function("ctr_quick", |b| {
+        b.iter(|| black_box(ctr_production_speedup(16).rows.len()))
+    });
+    group.bench_function("dawnbench", |b| b.iter(|| black_box(dawnbench_table().rows.len())));
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the fluid network solver (the substrate every
+//! experiment runs on).
+
+use aiacc_simnet::{FlowNet, FlowSpec, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_rate_recompute(c: &mut Criterion) {
+    c.bench_function("flownet/recompute_256_flows", |b| {
+        b.iter_batched(
+            || {
+                let mut net = FlowNet::new();
+                let res: Vec<_> =
+                    (0..64).map(|i| net.add_resource(format!("r{i}"), 1e9)).collect();
+                for i in 0..256 {
+                    net.start_flow(
+                        FlowSpec::new(vec![res[i % 64], res[(i + 1) % 64]], 1e8)
+                            .with_rate_cap(3e8),
+                    );
+                }
+                net
+            },
+            |mut net| black_box(net.next_change()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_drain(c: &mut Criterion) {
+    c.bench_function("flownet/drain_100_flows", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new();
+                let r = sim.net_mut().add_resource("link", 1e9);
+                for i in 1..=100 {
+                    sim.start_flow(FlowSpec::new(vec![r], 1e6 * i as f64));
+                }
+                sim
+            },
+            |mut sim| {
+                let mut n = 0;
+                while sim.next_event().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_rate_recompute, bench_drain);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of the optimizer/compression substrate.
+
+use aiacc_dnn::f16;
+use aiacc_dnn::{Mlp, MlpConfig};
+use aiacc_optim::{Adam, AdamSgd, Optimizer, Sgd};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_optimizers(c: &mut Criterion) {
+    let grads: Vec<f32> = (0..N).map(|i| ((i % 97) as f32 - 48.0) * 1e-4).collect();
+    for (name, mut opt) in [
+        ("sgd_momentum", Box::new(Sgd::new(0.01).with_momentum(0.9)) as Box<dyn Optimizer>),
+        ("adam", Box::new(Adam::new(1e-3))),
+        ("adam_sgd_hybrid", Box::new(AdamSgd::new(1e-3, 0.01))),
+    ] {
+        let mut params = vec![0.0f32; N];
+        c.bench_function(&format!("optim/{name}_100k_params"), |b| {
+            b.iter(|| {
+                opt.step(&mut params, &grads);
+                black_box(params[0])
+            })
+        });
+    }
+}
+
+fn bench_f16(c: &mut Criterion) {
+    let vals: Vec<f32> = (0..N).map(|i| (i as f32 - 5e4) * 1e-3).collect();
+    c.bench_function("f16/compress_100k", |b| {
+        b.iter(|| black_box(f16::compress(&vals).len()))
+    });
+    let wire = f16::compress(&vals);
+    c.bench_function("f16/decompress_100k", |b| {
+        b.iter(|| black_box(f16::decompress(&wire).len()))
+    });
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mlp = Mlp::new(&MlpConfig::new(vec![64, 128, 64, 10], 7));
+    let x: Vec<f32> = (0..64 * 32).map(|i| (i % 13) as f32 * 0.1).collect();
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    c.bench_function("mlp/loss_and_grads_b32", |b| {
+        b.iter(|| black_box(mlp.loss_and_grads(&x, &y).0))
+    });
+}
+
+criterion_group!(benches, bench_optimizers, bench_f16, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--quick] [--out DIR]
+//!
+//! EXPERIMENT: table1 bandwidth fig2 fig9 fig10 fig11 fig12 fig13 fig14
+//!             fig15 ctr insightface dawnbench tuning ablations all
+//! --quick     reduced GPU sweep (1/8/32) and smaller tuning budgets
+//! --out DIR   also write each table as TSV under DIR (default: results/)
+//! ```
+
+use aiacc_bench::*;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != out_dir.to_str())
+        .cloned()
+        .collect();
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let sweep = if quick { QUICK_GPU_SWEEP } else { FULL_GPU_SWEEP };
+    let tuning_budget = if quick { 15 } else { 60 };
+    let big_gpus = if quick { 32 } else { 128 };
+
+    let mut ran = 0;
+    let mut run = |name: &str, f: &mut dyn FnMut() -> Table| {
+        if !all && !wanted.iter().any(|w| w == name) {
+            return;
+        }
+        eprintln!("[repro] running {name} ...");
+        let t = f();
+        println!("{t}");
+        let path = out_dir.join(format!("{name}.tsv"));
+        if let Err(e) = t.write_tsv(&path) {
+            eprintln!("[repro] warning: could not write {}: {e}", path.display());
+        }
+        ran += 1;
+    };
+
+    run("table1", &mut table1_models);
+    run("bandwidth", &mut bandwidth_utilization);
+    run("fig2", &mut || fig2_motivation(sweep));
+    run("fig9", &mut || fig9_cv(sweep));
+    run("fig10", &mut || fig10_nlp(sweep));
+    run("fig11", &mut || fig11_tensorflow(sweep));
+    run("fig12", &mut || fig12_mxnet(sweep));
+    run("fig13", &mut || fig13_hybrid(sweep));
+    run("fig14", &mut fig14_batch_sweep);
+    run("fig15", &mut fig15_rdma);
+    run("ctr", &mut || ctr_production_speedup(big_gpus));
+    run("insightface", &mut || insightface_speedup(big_gpus));
+    run("dawnbench", &mut dawnbench_table);
+    run("tuning", &mut || tuning_report(tuning_budget));
+    if all || wanted.iter().any(|w| w == "ablations") {
+        for (name, t) in [
+            ("ablation_flow_cap", ablation_flow_cap()),
+            ("ablation_byteps_servers", ablation_byteps_servers()),
+            ("ablation_sync_scheme", ablation_sync_scheme()),
+            ("ablation_granularity", ablation_granularity()),
+            ("ablation_tree_vs_ring", ablation_tree_vs_ring()),
+            ("ablation_meta_solver", ablation_meta_solver(tuning_budget)),
+        ] {
+            println!("{t}");
+            let path = out_dir.join(format!("{name}.tsv"));
+            if let Err(e) = t.write_tsv(&path) {
+                eprintln!("[repro] warning: could not write {}: {e}", path.display());
+            }
+            ran += 1;
+        }
+    }
+
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment(s): {wanted:?}\nknown: table1 bandwidth fig2 fig9 fig10 fig11 \
+             fig12 fig13 fig14 fig15 ctr insightface dawnbench tuning ablations all"
+        );
+        std::process::exit(2);
+    }
+    eprintln!("[repro] done: {ran} experiment(s); TSV in {}", out_dir.display());
+}

@@ -1,0 +1,298 @@
+//! Table I, §III's bandwidth measurement and the further-analysis
+//! experiments of §VIII-C/D (Figs. 13–15, CTR, InsightFace, DAWNBench).
+
+use crate::report::{fnum, Table};
+use aiacc_cluster::{ClusterNet, ClusterSpec};
+use aiacc_dnn::zoo;
+use aiacc_simnet::{SimTime, Simulator};
+use aiacc_trainer::hybrid::{run_hybrid_sim, HybridEngine};
+use aiacc_trainer::{dawnbench, run_training_sim, EngineKind, TrainingSimConfig};
+
+/// Table I — model characteristics: our structural counts beside the
+/// paper's published values.
+pub fn table1_models() -> Table {
+    let paper: &[(&str, f64, f64)] = &[
+        ("vgg16", 138.3, 31.0),
+        ("resnet50", 25.6, 4.0),
+        ("resnet101", 29.4, 8.0),
+        ("transformer", 66.5, 145.0),
+        ("bert_large", 302.2, 232.0),
+    ];
+    let mut t = Table::new(
+        "Table I: model characteristics (ours vs paper)",
+        &["model", "params (M)", "paper params (M)", "fwd GFLOPs", "paper GFLOPs", "#gradients"],
+    );
+    for &(name, p_params, p_flops) in paper {
+        let m = zoo::by_name(name).expect("zoo model");
+        t.push(vec![
+            name.to_string(),
+            fnum(m.num_params() as f64 / 1e6),
+            fnum(p_params),
+            fnum(m.fwd_flops_per_sample() / 1e9),
+            fnum(p_flops),
+            m.num_gradients().to_string(),
+        ]);
+    }
+    t
+}
+
+/// §III — the single-flow bandwidth-utilization measurement that motivates
+/// multi-streamed communication: utilization of a 30 Gbps TCP NIC as the
+/// number of concurrent flows grows.
+pub fn bandwidth_utilization() -> Table {
+    let mut t = Table::new(
+        "§III: TCP NIC utilization vs concurrent communication streams",
+        &["streams", "utilization", "effective Gbps"],
+    );
+    for streams in [1usize, 2, 3, 4, 6, 8] {
+        let mut sim = Simulator::new();
+        let cluster = ClusterNet::build(&ClusterSpec::tcp_v100(16), sim.net_mut());
+        for i in 0..streams {
+            let src = i % 8;
+            let dst = 8 + (i % 8);
+            sim.start_flow(cluster.path(src, dst).flow(1e12));
+        }
+        sim.net_mut().advance_to(SimTime::from_secs_f64(0.001));
+        let util = sim.net_mut().utilization(cluster.node_tx_resource(0));
+        t.push(vec![
+            streams.to_string(),
+            fnum(util),
+            fnum(util * 30.0),
+        ]);
+    }
+    t
+}
+
+/// Fig. 13 — hybrid data+model parallelism: AIACC vs MXNet KVStore.
+pub fn fig13_hybrid(gpu_sweep: &[usize]) -> Table {
+    let model = zoo::resnet50();
+    let mut t = Table::new(
+        "Fig 13: hybrid data+model parallelism (ResNet-50 on MXNet)",
+        &["gpus", "aiacc samples/s", "mxnet samples/s", "speedup"],
+    );
+    for &g in gpu_sweep {
+        if g < 16 {
+            continue; // needs ≥2 nodes
+        }
+        let a = run_hybrid_sim(&model, g, 64, HybridEngine::Aiacc);
+        let k = run_hybrid_sim(&model, g, 64, HybridEngine::MxnetKvStore);
+        t.push(vec![
+            g.to_string(),
+            fnum(a.samples_per_sec),
+            fnum(k.samples_per_sec),
+            fnum(a.samples_per_sec / k.samples_per_sec),
+        ]);
+    }
+    t
+}
+
+/// Fig. 14 — AIACC speedup over Horovod on BERT-Large at 16 GPUs as the
+/// per-GPU batch size varies (smaller batch ⇒ more communication ⇒ larger
+/// win).
+pub fn fig14_batch_sweep() -> Table {
+    let model = zoo::bert_large();
+    let mut t = Table::new(
+        "Fig 14: speedup over Horovod vs batch size (BERT-Large, 16 GPUs)",
+        &["batch/gpu", "aiacc seq/s", "horovod seq/s", "speedup"],
+    );
+    for batch in [1usize, 2, 4, 8, 16] {
+        let mk = |engine| {
+            run_training_sim(
+                TrainingSimConfig::new(ClusterSpec::tcp_v100(16), model.clone(), engine)
+                    .with_batch(batch)
+                    .with_iterations(1, 2),
+            )
+        };
+        let a = mk(EngineKind::aiacc_default());
+        let h = mk(EngineKind::Horovod(Default::default()));
+        t.push(vec![
+            batch.to_string(),
+            fnum(a.samples_per_sec),
+            fnum(h.samples_per_sec),
+            fnum(a.samples_per_sec / h.samples_per_sec),
+        ]);
+    }
+    t
+}
+
+/// Fig. 15 — RDMA (64 GPUs): AIACC speedup over PyTorch-DDP per model,
+/// including GPT-2 XL (paper: 9.8×). RDMA-era large-model training runs
+/// mixed precision (GPT-2 XL does not even fit in fp32), so the compute
+/// model uses the V100's tensor cores.
+pub fn fig15_rdma() -> Table {
+    use aiacc_cluster::{GpuSpec, NodeSpec};
+    let mut t = Table::new(
+        "Fig 15: speedup over PyTorch-DDP on 64 GPUs with RDMA (mixed precision)",
+        &["model", "aiacc samples/s", "ddp samples/s", "speedup"],
+    );
+    let amp_gpu = GpuSpec {
+        name: "V100 (mixed precision)".to_string(),
+        fp32_tflops: 125.0,
+        efficiency: 0.35,
+        ..GpuSpec::v100()
+    };
+    for model in [zoo::resnet50(), zoo::vgg16(), zoo::bert_large(), zoo::gpt2_xl()] {
+        // The transformer giants train under AMP (GPT-2 XL does not fit in
+        // fp32 at all); the CV models keep the fp32 setting of Figs. 9–12.
+        let amp = matches!(model.name(), "bert_large" | "gpt2_xl");
+        let node = if amp {
+            NodeSpec { gpu: amp_gpu.clone(), ..NodeSpec::alibaba_v100_rdma() }
+        } else {
+            NodeSpec::alibaba_v100_rdma()
+        };
+        let cluster = ClusterSpec::with_total_gpus(64, node);
+        let mk = |engine| {
+            run_training_sim(
+                TrainingSimConfig::new(cluster.clone(), model.clone(), engine)
+                    .with_iterations(1, 2),
+            )
+        };
+        let a = mk(EngineKind::aiacc_default());
+        let d = mk(EngineKind::PyTorchDdp(Default::default()));
+        t.push(vec![
+            model.name().to_string(),
+            fnum(a.samples_per_sec),
+            fnum(d.samples_per_sec),
+            fnum(a.samples_per_sec / d.samples_per_sec),
+        ]);
+    }
+    t
+}
+
+/// §VIII-C — the production CTR workload: a huge gradient count collapses
+/// Horovod's master negotiation; AIACC's decentralized scheme does not care.
+pub fn ctr_production_speedup(gpus: usize) -> Table {
+    let model = zoo::ctr_production();
+    let mut t = Table::new(
+        format!("§VIII-C: production CTR system at {gpus} GPUs"),
+        &["engine", "records/s", "speedup vs horovod"],
+    );
+    let mk = |engine| {
+        run_training_sim(
+            TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
+                .with_iterations(1, 2),
+        )
+    };
+    let h = mk(EngineKind::Horovod(Default::default()));
+    let a = mk(EngineKind::aiacc_default());
+    t.push(vec!["horovod".into(), fnum(h.samples_per_sec), "1.000".into()]);
+    t.push(vec![
+        "aiacc".into(),
+        fnum(a.samples_per_sec),
+        fnum(a.samples_per_sec / h.samples_per_sec),
+    ]);
+    t
+}
+
+/// §VIII-C — InsightFace hand-tuned ResNet-50 at 128 GPUs (paper: 3.8×
+/// over the hand-tuned Horovod DDL).
+pub fn insightface_speedup(gpus: usize) -> Table {
+    let model = zoo::insightface_r50();
+    let mut t = Table::new(
+        format!("§VIII-C: InsightFace face recognition at {gpus} GPUs"),
+        &["engine", "img/s", "speedup vs horovod"],
+    );
+    let mk = |engine| {
+        run_training_sim(
+            TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
+                .with_iterations(1, 2),
+        )
+    };
+    let h = mk(EngineKind::Horovod(Default::default()));
+    let a = mk(EngineKind::aiacc_default());
+    t.push(vec!["horovod".into(), fnum(h.samples_per_sec), "1.000".into()]);
+    t.push(vec![
+        "aiacc".into(),
+        fnum(a.samples_per_sec),
+        fnum(a.samples_per_sec / h.samples_per_sec),
+    ]);
+    t
+}
+
+/// §VIII-C — DAWNBench: time and cost to 93 % top-5 on ImageNet.
+pub fn dawnbench_table() -> Table {
+    let mut t = Table::new(
+        "§VIII-C: DAWNBench time-to-accuracy (ResNet-50, ImageNet, 93% top-5)",
+        &["gpus", "img/s", "seconds to target", "cost USD", "paper"],
+    );
+    for gpus in [64usize, 128] {
+        let e = dawnbench::estimate(gpus);
+        let paper = if gpus == 128 { "158 s / $7.43" } else { "-" };
+        t.push(vec![
+            gpus.to_string(),
+            fnum(e.images_per_sec),
+            fnum(e.seconds_to_target),
+            fnum(e.cost_usd),
+            paper.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Helper shared by tests: parse a numeric cell.
+#[cfg(test)]
+fn val(t: &Table, row: usize, col: usize) -> f64 {
+    t.rows[row][col].parse().expect("numeric cell")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters_match_paper_where_expected() {
+        let t = table1_models();
+        assert_eq!(t.rows.len(), 5);
+        // VGG-16, ResNet-50, BERT-Large within a few percent of Table I.
+        for (row, tol) in [(0usize, 0.02), (1, 0.02), (4, 0.02)] {
+            let ours = val(&t, row, 1);
+            let paper = val(&t, row, 2);
+            assert!(((ours - paper) / paper).abs() < tol, "{}: {ours} vs {paper}", t.rows[row][0]);
+        }
+    }
+
+    #[test]
+    fn bandwidth_single_flow_is_30_percent() {
+        let t = bandwidth_utilization();
+        assert!((val(&t, 0, 1) - 0.30).abs() < 1e-6);
+        // Utilization grows with streams and saturates at 1.
+        let mut prev = 0.0;
+        for i in 0..t.rows.len() {
+            let u = val(&t, i, 1);
+            assert!(u >= prev - 1e-9);
+            assert!(u <= 1.0 + 1e-9);
+            prev = u;
+        }
+        let last = val(&t, t.rows.len() - 1, 1);
+        assert!((last - 1.0).abs() < 1e-6, "8 streams should saturate: {last}");
+    }
+
+    #[test]
+    fn fig14_speedup_larger_at_small_batch() {
+        let t = fig14_batch_sweep();
+        let first = val(&t, 0, 3);
+        let last = val(&t, t.rows.len() - 1, 3);
+        assert!(first > last, "speedup {first} at b=1 should exceed {last} at b=16");
+        assert!(first > 1.2, "small-batch speedup {first}");
+    }
+
+    #[test]
+    fn fig15_gpt2_has_largest_rdma_speedup() {
+        let t = fig15_rdma();
+        let gpt2 = t.rows.iter().position(|r| r[0] == "gpt2_xl").unwrap();
+        let s_gpt2 = val(&t, gpt2, 3);
+        for (i, row) in t.rows.iter().enumerate() {
+            let s = val(&t, i, 3);
+            assert!(s >= 0.95, "{} slower than DDP: {s}", row[0]);
+            assert!(s_gpt2 >= s - 1e-9, "{} ({s}) beats GPT-2 ({s_gpt2})", row[0]);
+        }
+        assert!(s_gpt2 > 2.0, "GPT-2 RDMA speedup only {s_gpt2}");
+    }
+
+    #[test]
+    fn ctr_speedup_is_dramatic() {
+        let t = ctr_production_speedup(32);
+        let s = val(&t, 1, 2);
+        assert!(s > 2.0, "CTR speedup {s}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Overall-performance experiments: Fig. 2 and Figs. 9–12.
+
+use crate::report::{fnum, Table};
+use aiacc_cluster::ClusterSpec;
+use aiacc_dnn::{zoo, ModelProfile};
+use aiacc_trainer::{
+    run_training_sim, scaling_efficiency, EngineKind, Framework, ThroughputReport,
+    TrainingSimConfig,
+};
+
+fn run(model: &ModelProfile, gpus: usize, engine: EngineKind, fw: Framework) -> ThroughputReport {
+    run_training_sim(
+        TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
+            .with_framework(fw)
+            .with_iterations(1, 2),
+    )
+}
+
+/// The four competing methods of §VII-C.
+fn competitors() -> Vec<EngineKind> {
+    vec![
+        EngineKind::aiacc_default(),
+        EngineKind::Horovod(Default::default()),
+        EngineKind::PyTorchDdp(Default::default()),
+        EngineKind::BytePs(Default::default()),
+    ]
+}
+
+/// Fig. 2 — motivation: Horovod's ResNet-50 throughput versus the
+/// theoretical linear speedup, with the paper's scaling-efficiency numbers.
+pub fn fig2_motivation(gpu_sweep: &[usize]) -> Table {
+    let model = zoo::resnet50();
+    let mut t = Table::new(
+        "Fig 2: Horovod vs linear scaling (ResNet-50, 30Gbps TCP)",
+        &["gpus", "horovod img/s", "linear img/s", "efficiency"],
+    );
+    let single = run(&model, 1, EngineKind::Horovod(Default::default()), Framework::PyTorch);
+    for &g in gpu_sweep {
+        let r = if g == 1 {
+            single.clone()
+        } else {
+            run(&model, g, EngineKind::Horovod(Default::default()), Framework::PyTorch)
+        };
+        let linear = single.samples_per_sec * g as f64;
+        t.push(vec![
+            g.to_string(),
+            fnum(r.samples_per_sec),
+            fnum(linear),
+            fnum(r.samples_per_sec / linear),
+        ]);
+    }
+    t
+}
+
+fn throughput_figure(
+    title: &str,
+    models: &[ModelProfile],
+    gpu_sweep: &[usize],
+    fw: Framework,
+    engines: &[EngineKind],
+) -> Table {
+    let mut header: Vec<String> = vec!["model".into(), "gpus".into()];
+    header.extend(engines.iter().map(|e| format!("{e} (samples/s)")));
+    header.push("aiacc scaling eff".into());
+    let mut t = Table::new(title, &header.iter().map(String::as_str).collect::<Vec<_>>());
+    for model in models {
+        let single = run(model, 1, engines[0], fw);
+        for &g in gpu_sweep {
+            let mut row = vec![model.name().to_string(), g.to_string()];
+            let mut aiacc_eff = String::new();
+            for (i, &e) in engines.iter().enumerate() {
+                let r = run(model, g, e, fw);
+                row.push(fnum(r.samples_per_sec));
+                if i == 0 {
+                    aiacc_eff = if g == 1 {
+                        "1.000".to_string()
+                    } else {
+                        fnum(scaling_efficiency(&single, &r))
+                    };
+                }
+            }
+            row.push(aiacc_eff);
+            t.push(row);
+        }
+    }
+    t
+}
+
+/// Fig. 9 — PyTorch CV models (VGG-16, ResNet-50, ResNet-101) across GPU
+/// counts, AIACC vs Horovod vs PyTorch-DDP vs BytePS.
+pub fn fig9_cv(gpu_sweep: &[usize]) -> Table {
+    throughput_figure(
+        "Fig 9: PyTorch CV models throughput",
+        &[zoo::vgg16(), zoo::resnet50(), zoo::resnet101()],
+        gpu_sweep,
+        Framework::PyTorch,
+        &competitors(),
+    )
+}
+
+/// Fig. 10 — PyTorch NLP models (Transformer, BERT-Large).
+pub fn fig10_nlp(gpu_sweep: &[usize]) -> Table {
+    throughput_figure(
+        "Fig 10: PyTorch NLP models throughput",
+        &[zoo::transformer(), zoo::bert_large()],
+        gpu_sweep,
+        Framework::PyTorch,
+        &competitors(),
+    )
+}
+
+/// Fig. 11 — TensorFlow models: AIACC vs the framework-native engine
+/// (Horovod) and BytePS.
+pub fn fig11_tensorflow(gpu_sweep: &[usize]) -> Table {
+    throughput_figure(
+        "Fig 11: TensorFlow models throughput",
+        &[zoo::vgg16(), zoo::resnet50(), zoo::bert_large()],
+        gpu_sweep,
+        Framework::TensorFlow,
+        &[
+            EngineKind::aiacc_default(),
+            Framework::TensorFlow.native_engine(),
+            EngineKind::BytePs(Default::default()),
+        ],
+    )
+}
+
+/// Fig. 12 — MXNet models: AIACC vs the native KVStore parameter server.
+pub fn fig12_mxnet(gpu_sweep: &[usize]) -> Table {
+    throughput_figure(
+        "Fig 12: MXNet models throughput",
+        &[zoo::vgg16(), zoo::resnet50(), zoo::resnet101()],
+        gpu_sweep,
+        Framework::Mxnet,
+        &[EngineKind::aiacc_default(), Framework::Mxnet.native_engine()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &Table, name_contains: &str) -> usize {
+        t.header.iter().position(|h| h.contains(name_contains)).expect("column")
+    }
+
+    fn val(t: &Table, row: usize, col: usize) -> f64 {
+        t.rows[row][col].parse().expect("numeric cell")
+    }
+
+    #[test]
+    fn fig2_shows_subunity_efficiency_at_scale() {
+        let t = fig2_motivation(&[1, 8, 32]);
+        assert_eq!(t.rows.len(), 3);
+        let eff_col = col(&t, "efficiency");
+        let eff32 = val(&t, 2, eff_col);
+        // Paper: ~75 % at 32 GPUs.
+        assert!((0.5..0.92).contains(&eff32), "eff@32 = {eff32}");
+        // Single GPU is exactly linear.
+        assert!((val(&t, 0, eff_col) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig9_aiacc_wins_at_32_gpus() {
+        let t = fig9_cv(&[32]);
+        let aiacc = col(&t, "aiacc (");
+        let horovod = col(&t, "horovod");
+        let byteps = col(&t, "byteps");
+        for (i, row) in t.rows.iter().enumerate() {
+            let a = val(&t, i, aiacc);
+            let h = val(&t, i, horovod);
+            let b = val(&t, i, byteps);
+            assert!(a > h, "{}: aiacc {a} <= horovod {h}", row[0]);
+            assert!(a > b, "{}: aiacc {a} <= byteps {b}", row[0]);
+        }
+    }
+
+    #[test]
+    fn fig10_nlp_runs_and_aiacc_leads() {
+        let t = fig10_nlp(&[16]);
+        let aiacc = col(&t, "aiacc (");
+        let ddp = col(&t, "pytorch-ddp");
+        for i in 0..t.rows.len() {
+            assert!(val(&t, i, aiacc) >= val(&t, i, ddp));
+        }
+    }
+
+    #[test]
+    fn fig12_mxnet_parameter_server_loses() {
+        let t = fig12_mxnet(&[16]);
+        let aiacc = col(&t, "aiacc (");
+        let kv = col(&t, "mxnet-kvstore");
+        for i in 0..t.rows.len() {
+            let a = val(&t, i, aiacc);
+            let k = val(&t, i, kv);
+            assert!(a > k, "row {i}: aiacc {a} <= kvstore {k}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harness: one generator per table/figure of the paper.
+//!
+//! Each `fig*`/`table*` function runs the corresponding sweep on the
+//! simulated cluster and returns a [`Table`] whose rows mirror what the
+//! paper plots; the `repro` binary prints them and writes TSV files, and the
+//! criterion benches wrap reduced-scale versions. `EXPERIMENTS.md` records
+//! the paper-vs-measured comparison for every entry here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exp_further;
+mod exp_overall;
+mod exp_tuning;
+mod report;
+
+pub use exp_further::{
+    bandwidth_utilization, ctr_production_speedup, dawnbench_table, fig13_hybrid,
+    fig14_batch_sweep, fig15_rdma, insightface_speedup, table1_models,
+};
+pub use exp_overall::{fig10_nlp, fig11_tensorflow, fig12_mxnet, fig2_motivation, fig9_cv};
+pub use exp_tuning::{
+    ablation_byteps_servers, ablation_flow_cap, ablation_granularity, ablation_meta_solver,
+    ablation_sync_scheme,
+    ablation_tree_vs_ring, tuning_report,
+};
+pub use report::Table;
+
+/// The GPU counts swept by the overall-performance figures (Figs. 9–12).
+pub const FULL_GPU_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// A reduced sweep for quick runs and criterion benches.
+pub const QUICK_GPU_SWEEP: &[usize] = &[1, 8, 32];

@@ -1,0 +1,127 @@
+//! Minimal text/TSV table rendering for experiment output.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A rectangular results table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (figure/table id + description).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Writes the table as TSV.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from file creation and writing.
+    pub fn write_tsv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(r) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, "{cell:>w$}  ")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fnum(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let s = format!("{t}");
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("bbbb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("aiacc_table_test");
+        let path = dir.join("t.tsv");
+        t.write_tsv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("x\ty"));
+        assert!(content.contains("1\t2"));
+    }
+
+    #[test]
+    fn fnum_precision_tiers() {
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(99.94), "99.9");
+        assert_eq!(fnum(1.2345), "1.234");
+    }
+}

@@ -1,0 +1,41 @@
+//! GPU cloud cluster model for the AIACC-Training reproduction.
+//!
+//! Mirrors the evaluation platform of the paper (§VII-A): Alibaba GPU cloud
+//! instances with 8 NVLink-connected NVIDIA V100 GPUs per node, joined by a
+//! 30 Gbps VPC TCP network (or optionally RDMA, §VIII-D). The crate provides:
+//!
+//! * [`GpuSpec`] / [`NicSpec`] / [`NodeSpec`] / [`ClusterSpec`] — hardware
+//!   descriptions with paper-matching presets.
+//! * [`ClusterNet`] — maps a cluster onto [`aiacc_simnet::FlowNet`] resources
+//!   (per-GPU NVLink ports, per-node NIC ports) and answers path queries for
+//!   rank-to-rank transfers, including the per-flow rate cap that models
+//!   single-stream bandwidth under-utilization (§III).
+//! * [`ComputeModel`] — forward/backward/update durations and the
+//!   per-gradient ready schedule for a [`aiacc_dnn::ModelProfile`], plus the
+//!   CUDA-stream concurrency limit imposed by compute occupancy (§VIII-A).
+//!
+//! # Example
+//!
+//! ```
+//! use aiacc_cluster::{ClusterNet, ClusterSpec};
+//! use aiacc_simnet::FlowNet;
+//!
+//! let spec = ClusterSpec::tcp_v100(16); // 2 nodes × 8 GPUs
+//! assert_eq!(spec.world_size(), 16);
+//! let mut net = FlowNet::new();
+//! let cluster = ClusterNet::build(&spec, &mut net);
+//! // Cross-node path goes through both NICs and carries the TCP flow cap.
+//! let p = cluster.path(0, 8);
+//! assert!(p.rate_cap.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute;
+mod spec;
+mod topology;
+
+pub use compute::{jitter_factor, ComputeModel, IterationTiming};
+pub use spec::{ClusterSpec, GpuSpec, NetKind, NicSpec, NodeSpec};
+pub use topology::{ClusterNet, PathInfo};

@@ -1,0 +1,285 @@
+//! Hardware specifications: GPUs, NICs, nodes, clusters.
+
+use aiacc_simnet::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Inter-node network technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// VPC TCP/IP — the dominant infrastructure in public GPU clouds (§II-E).
+    Tcp,
+    /// Remote direct memory access over a dedicated fabric.
+    Rdma,
+}
+
+/// A network interface specification.
+///
+/// `per_flow_cap` encodes the paper's measurement that a *single*
+/// communication stream utilizes at most ~30 % of a TCP link and only 5–10 %
+/// of an RDMA link (§III) — the core motivation for multi-streamed
+/// communication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Network technology.
+    pub kind: NetKind,
+    /// Link bandwidth in Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// Fraction of the link a single flow can use, in `(0, 1]`.
+    pub per_flow_cap: f64,
+    /// Per-message startup latency.
+    pub latency: SimDuration,
+}
+
+impl NicSpec {
+    /// The paper's evaluation network: 30 Gbps VPC TCP, 30 % single-flow cap.
+    pub fn tcp_30gbps() -> Self {
+        NicSpec {
+            kind: NetKind::Tcp,
+            bandwidth_gbps: 30.0,
+            per_flow_cap: 0.30,
+            latency: SimDuration::from_micros(25),
+        }
+    }
+
+    /// §VIII-D's RDMA fabric: 100 Gbps, ~10 % single-flow utilization.
+    pub fn rdma_100gbps() -> Self {
+        NicSpec {
+            kind: NetKind::Rdma,
+            bandwidth_gbps: 100.0,
+            per_flow_cap: 0.10,
+            latency: SimDuration::from_micros(3),
+        }
+    }
+
+    /// Link capacity in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0
+    }
+
+    /// Per-flow rate limit in bytes/second.
+    pub fn flow_cap_bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec() * self.per_flow_cap
+    }
+
+    /// Validates field ranges.
+    ///
+    /// # Panics
+    /// Panics if bandwidth is non-positive or the cap is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(
+            self.per_flow_cap > 0.0 && self.per_flow_cap <= 1.0,
+            "per-flow cap must be in (0,1]"
+        );
+    }
+}
+
+/// A GPU specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"V100-SXM2-32GB"`.
+    pub name: String,
+    /// Peak FP32 throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Fraction of peak sustained by real training kernels.
+    pub efficiency: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Aggregate NVLink bandwidth per GPU in GByte/s.
+    pub nvlink_gbytes: f64,
+    /// Device memory in GiB.
+    pub mem_gib: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla V100 (the paper's evaluation GPU, §II-D/§VII-A).
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100-SXM2-32GB".to_string(),
+            fp32_tflops: 15.7,
+            efficiency: 0.55,
+            sm_count: 80,
+            nvlink_gbytes: 150.0,
+            mem_gib: 32.0,
+        }
+    }
+
+    /// Sustained compute throughput in FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.fp32_tflops * 1e12 * self.efficiency
+    }
+
+    /// NVLink capacity in bytes/second.
+    pub fn nvlink_bytes_per_sec(&self) -> f64 {
+        self.nvlink_gbytes * 1e9
+    }
+}
+
+/// One compute node: identical GPUs behind one NIC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// GPUs in the node.
+    pub gpus_per_node: usize,
+    /// The GPU model.
+    pub gpu: GpuSpec,
+    /// The inter-node NIC.
+    pub nic: NicSpec,
+}
+
+impl NodeSpec {
+    /// The paper's `ecs.gn6e` instance: 8× NVLink V100 behind 30 Gbps TCP.
+    pub fn alibaba_v100_tcp() -> Self {
+        NodeSpec { gpus_per_node: 8, gpu: GpuSpec::v100(), nic: NicSpec::tcp_30gbps() }
+    }
+
+    /// The RDMA variant used in §VIII-D.
+    pub fn alibaba_v100_rdma() -> Self {
+        NodeSpec { gpus_per_node: 8, gpu: GpuSpec::v100(), nic: NicSpec::rdma_100gbps() }
+    }
+}
+
+/// A homogeneous cluster of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster of `nodes` identical nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero, the node has no GPUs, or the NIC spec is
+    /// out of range.
+    pub fn new(nodes: usize, node: NodeSpec) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        assert!(node.gpus_per_node > 0, "node needs at least one GPU");
+        node.nic.validate();
+        ClusterSpec { nodes, node }
+    }
+
+    /// Paper-style TCP cluster with `total_gpus` V100s: a single node for up
+    /// to 8 GPUs, otherwise `total_gpus / 8` full nodes.
+    ///
+    /// # Panics
+    /// Panics if `total_gpus` is zero or not a multiple of 8 when above 8.
+    pub fn tcp_v100(total_gpus: usize) -> Self {
+        Self::with_total_gpus(total_gpus, NodeSpec::alibaba_v100_tcp())
+    }
+
+    /// RDMA cluster with `total_gpus` V100s (§VIII-D).
+    ///
+    /// # Panics
+    /// Same conditions as [`ClusterSpec::tcp_v100`].
+    pub fn rdma_v100(total_gpus: usize) -> Self {
+        Self::with_total_gpus(total_gpus, NodeSpec::alibaba_v100_rdma())
+    }
+
+    /// Builds a cluster of `total_gpus` GPUs from a node template.
+    ///
+    /// # Panics
+    /// Panics if `total_gpus` is zero or not a multiple of the node size when
+    /// above it.
+    pub fn with_total_gpus(total_gpus: usize, mut node: NodeSpec) -> Self {
+        assert!(total_gpus > 0, "need at least one GPU");
+        if total_gpus <= node.gpus_per_node {
+            node.gpus_per_node = total_gpus;
+            ClusterSpec::new(1, node)
+        } else {
+            assert_eq!(
+                total_gpus % node.gpus_per_node,
+                0,
+                "GPU count {total_gpus} is not a multiple of node size {}",
+                node.gpus_per_node
+            );
+            let nodes = total_gpus / node.gpus_per_node;
+            ClusterSpec::new(nodes, node)
+        }
+    }
+
+    /// Total number of GPU workers.
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.node.gpus_per_node
+    }
+
+    /// Node index hosting global rank `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range.
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank / self.node.gpus_per_node
+    }
+
+    /// Rank within its node.
+    pub fn local_rank(&self, rank: usize) -> usize {
+        assert!(rank < self.world_size(), "rank {rank} out of range");
+        rank % self.node.gpus_per_node
+    }
+
+    /// Whether two ranks share a node (and thus communicate over NVLink).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_preset_matches_paper() {
+        let nic = NicSpec::tcp_30gbps();
+        assert_eq!(nic.kind, NetKind::Tcp);
+        assert!((nic.bytes_per_sec() - 3.75e9).abs() < 1.0);
+        assert!((nic.flow_cap_bytes_per_sec() - 1.125e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn rdma_cap_is_tighter_fractionally() {
+        let nic = NicSpec::rdma_100gbps();
+        assert!(nic.per_flow_cap < NicSpec::tcp_30gbps().per_flow_cap);
+        // ... but absolute single-flow rate is similar (12.5 GB/s * 0.1).
+        assert!((nic.flow_cap_bytes_per_sec() - 1.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn v100_effective_flops() {
+        let g = GpuSpec::v100();
+        assert!((g.effective_flops() - 15.7e12 * 0.55).abs() < 1e6);
+    }
+
+    #[test]
+    fn small_cluster_is_single_node() {
+        let c = ClusterSpec::tcp_v100(4);
+        assert_eq!(c.nodes, 1);
+        assert_eq!(c.world_size(), 4);
+    }
+
+    #[test]
+    fn large_cluster_splits_into_nodes() {
+        let c = ClusterSpec::tcp_v100(256);
+        assert_eq!(c.nodes, 32);
+        assert_eq!(c.world_size(), 256);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(8), 1);
+        assert_eq!(c.local_rank(13), 5);
+        assert!(c.same_node(8, 15));
+        assert!(!c.same_node(7, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn uneven_gpu_count_rejected() {
+        let _ = ClusterSpec::tcp_v100(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_rejected() {
+        let c = ClusterSpec::tcp_v100(8);
+        let _ = c.node_of(8);
+    }
+}

@@ -1,0 +1,251 @@
+//! Mapping a cluster onto fluid-network resources and answering path queries.
+
+use crate::spec::ClusterSpec;
+use aiacc_simnet::{FlowNet, FlowSpec, ResourceId, SimDuration};
+
+/// The network footprint of a rank-to-rank (or node-to-node) transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathInfo {
+    /// Resources the flow loads.
+    pub resources: Vec<ResourceId>,
+    /// Per-flow rate cap in bytes/second (`None` for NVLink paths).
+    pub rate_cap: Option<f64>,
+    /// Startup latency.
+    pub latency: SimDuration,
+}
+
+impl PathInfo {
+    /// Builds a [`FlowSpec`] moving `bytes` over this path.
+    pub fn flow(&self, bytes: f64) -> FlowSpec {
+        let mut spec = FlowSpec::new(self.resources.clone(), bytes).with_latency(self.latency);
+        if let Some(cap) = self.rate_cap {
+            spec = spec.with_rate_cap(cap);
+        }
+        spec
+    }
+}
+
+/// A cluster materialized as fluid-network resources.
+///
+/// Each GPU gets an NVLink tx/rx port pair (intra-node traffic), and each
+/// node gets a NIC tx/rx port pair (inter-node traffic). A cross-node flow
+/// loads `gpu_tx → node_tx → peer node_rx → peer gpu_rx`, so NVLink, the
+/// sender NIC and the receiver NIC all constrain it, and concurrent flows
+/// from different streams contend realistically.
+///
+/// # Example
+/// ```
+/// use aiacc_cluster::{ClusterNet, ClusterSpec};
+/// use aiacc_simnet::FlowNet;
+/// let mut net = FlowNet::new();
+/// let c = ClusterNet::build(&ClusterSpec::tcp_v100(16), &mut net);
+/// let intra = c.path(0, 1);
+/// assert_eq!(intra.rate_cap, None); // NVLink is uncapped
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterNet {
+    spec: ClusterSpec,
+    gpu_tx: Vec<ResourceId>,
+    gpu_rx: Vec<ResourceId>,
+    pcie_tx: Vec<ResourceId>,
+    pcie_rx: Vec<ResourceId>,
+    node_tx: Vec<ResourceId>,
+    node_rx: Vec<ResourceId>,
+}
+
+/// Usable PCIe 3.0 ×16 bandwidth per GPU, bytes/second. Cross-node traffic
+/// leaves the GPU over PCIe (staged through the CPU for TCP, §V-B: "TCP/IP
+/// communications go through the CPU"; DMA'd for GPU-direct RDMA), so every
+/// cross-node flow loads the endpoint GPUs' PCIe ports in addition to the
+/// NICs. At 12 GB/s per GPU versus 3.75 GB/s per node NIC it is rarely the
+/// bottleneck — but it is what concurrent streams multiplex to hide the
+/// GPU↔CPU copies (Fig. 5).
+const PCIE_BYTES_PER_SEC: f64 = 12.0e9;
+
+impl ClusterNet {
+    /// Adds this cluster's resources to `net`.
+    pub fn build(spec: &ClusterSpec, net: &mut FlowNet) -> Self {
+        let world = spec.world_size();
+        let nvlink = spec.node.gpu.nvlink_bytes_per_sec();
+        let nic = spec.node.nic.bytes_per_sec();
+        let mut gpu_tx = Vec::with_capacity(world);
+        let mut gpu_rx = Vec::with_capacity(world);
+        let mut pcie_tx = Vec::with_capacity(world);
+        let mut pcie_rx = Vec::with_capacity(world);
+        for r in 0..world {
+            gpu_tx.push(net.add_resource(format!("gpu{r}.tx"), nvlink));
+            gpu_rx.push(net.add_resource(format!("gpu{r}.rx"), nvlink));
+            pcie_tx.push(net.add_resource(format!("gpu{r}.pcie.tx"), PCIE_BYTES_PER_SEC));
+            pcie_rx.push(net.add_resource(format!("gpu{r}.pcie.rx"), PCIE_BYTES_PER_SEC));
+        }
+        let mut node_tx = Vec::with_capacity(spec.nodes);
+        let mut node_rx = Vec::with_capacity(spec.nodes);
+        for n in 0..spec.nodes {
+            node_tx.push(net.add_resource(format!("node{n}.nic.tx"), nic));
+            node_rx.push(net.add_resource(format!("node{n}.nic.rx"), nic));
+        }
+        ClusterNet { spec: spec.clone(), gpu_tx, gpu_rx, pcie_tx, pcie_rx, node_tx, node_rx }
+    }
+
+    /// The cluster description this network was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Path for a GPU-to-GPU transfer between global ranks.
+    ///
+    /// Same-node transfers ride NVLink (uncapped, ~1 µs); cross-node
+    /// transfers traverse both NICs and carry the NIC's per-flow cap.
+    ///
+    /// # Panics
+    /// Panics if either rank is out of range or they are equal.
+    pub fn path(&self, src: usize, dst: usize) -> PathInfo {
+        assert_ne!(src, dst, "no self-transfer path");
+        let spec = &self.spec;
+        if spec.same_node(src, dst) {
+            PathInfo {
+                resources: vec![self.gpu_tx[src], self.gpu_rx[dst]],
+                rate_cap: None,
+                latency: SimDuration::from_micros(1),
+            }
+        } else {
+            let sn = spec.node_of(src);
+            let dn = spec.node_of(dst);
+            PathInfo {
+                // Cross-node: out of GPU memory over PCIe, through both
+                // NICs, into the peer GPU over PCIe.
+                resources: vec![
+                    self.pcie_tx[src],
+                    self.node_tx[sn],
+                    self.node_rx[dn],
+                    self.pcie_rx[dst],
+                ],
+                rate_cap: Some(spec.node.nic.flow_cap_bytes_per_sec()),
+                latency: spec.node.nic.latency,
+            }
+        }
+    }
+
+    /// Path for an aggregated node-to-node transfer (used by the coarse
+    /// collective timing mode, which folds a whole ring's traffic into one
+    /// flow per inter-node edge).
+    ///
+    /// # Panics
+    /// Panics if either node is out of range or they are equal.
+    pub fn node_path(&self, src_node: usize, dst_node: usize) -> PathInfo {
+        assert_ne!(src_node, dst_node, "no self-transfer path");
+        assert!(src_node < self.spec.nodes && dst_node < self.spec.nodes, "node out of range");
+        PathInfo {
+            resources: vec![self.node_tx[src_node], self.node_rx[dst_node]],
+            rate_cap: Some(self.spec.node.nic.flow_cap_bytes_per_sec()),
+            latency: self.spec.node.nic.latency,
+        }
+    }
+
+    /// The NIC transmit resource of a node (for utilization measurements).
+    pub fn node_tx_resource(&self, node: usize) -> ResourceId {
+        self.node_tx[node]
+    }
+
+    /// The NIC receive resource of a node.
+    pub fn node_rx_resource(&self, node: usize) -> ResourceId {
+        self.node_rx[node]
+    }
+
+    /// The NVLink transmit resource of a GPU rank.
+    pub fn gpu_tx_resource(&self, rank: usize) -> ResourceId {
+        self.gpu_tx[rank]
+    }
+
+    /// The PCIe transmit resource of a GPU rank (loaded by its cross-node
+    /// traffic).
+    pub fn pcie_tx_resource(&self, rank: usize) -> ResourceId {
+        self.pcie_tx[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiacc_simnet::Simulator;
+
+    #[test]
+    fn builds_expected_resource_count() {
+        let mut net = FlowNet::new();
+        let spec = ClusterSpec::tcp_v100(16);
+        let _c = ClusterNet::build(&spec, &mut net);
+        // 16 GPUs × (NVLink tx/rx + PCIe tx/rx) + 2 nodes × NIC tx/rx.
+        assert_eq!(net.resource_count(), 16 * 4 + 2 * 2);
+    }
+
+    #[test]
+    fn intra_node_path_uses_nvlink_only() {
+        let mut net = FlowNet::new();
+        let c = ClusterNet::build(&ClusterSpec::tcp_v100(16), &mut net);
+        let p = c.path(1, 3);
+        assert_eq!(p.resources.len(), 2);
+        assert_eq!(p.rate_cap, None);
+    }
+
+    #[test]
+    fn cross_node_path_has_cap_and_four_hops() {
+        let mut net = FlowNet::new();
+        let c = ClusterNet::build(&ClusterSpec::tcp_v100(16), &mut net);
+        let p = c.path(1, 9);
+        assert_eq!(p.resources.len(), 4);
+        let cap = p.rate_cap.unwrap();
+        assert!((cap - 1.125e9).abs() < 1.0); // 30 Gbps × 30 %
+    }
+
+    #[test]
+    fn single_cross_node_flow_is_cap_limited() {
+        // Reproduces the §III observation end-to-end: one stream gets 30 %.
+        let mut sim = Simulator::new();
+        let c = ClusterNet::build(&ClusterSpec::tcp_v100(16), sim.net_mut());
+        let bytes = 1.125e9; // exactly one second at the capped rate
+        sim.start_flow(c.path(0, 8).flow(bytes));
+        let mut t_done = 0.0;
+        while let Some((t, _)) = sim.next_event() {
+            t_done = t.as_secs_f64();
+        }
+        let expect = 1.0 + 25e-6;
+        assert!((t_done - expect).abs() < 1e-6, "took {t_done}");
+        // Utilization before completion:
+        let mut sim2 = Simulator::new();
+        let c2 = ClusterNet::build(&ClusterSpec::tcp_v100(16), sim2.net_mut());
+        sim2.start_flow(c2.path(0, 8).flow(1e12).with_latency(aiacc_simnet::SimDuration::ZERO));
+        let tx = c2.node_tx_resource(0);
+        assert!((sim2.net_mut().utilization(tx) - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_flows_fill_the_nic() {
+        let mut sim = Simulator::new();
+        let c = ClusterNet::build(&ClusterSpec::tcp_v100(16), sim.net_mut());
+        for i in 0..4 {
+            // Four streams from node 0 GPUs to node 1 GPUs.
+            sim.start_flow(c.path(i, 8 + i).flow(1e12));
+        }
+        let tx = c.node_tx_resource(0);
+        // advance past the latency phase
+        sim.net_mut().advance_to(aiacc_simnet::SimTime::from_secs_f64(0.001));
+        assert!((sim.net_mut().utilization(tx) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_path_is_nic_only() {
+        let mut net = FlowNet::new();
+        let c = ClusterNet::build(&ClusterSpec::tcp_v100(32), &mut net);
+        let p = c.node_path(0, 3);
+        assert_eq!(p.resources.len(), 2);
+        assert!(p.rate_cap.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_path_rejected() {
+        let mut net = FlowNet::new();
+        let c = ClusterNet::build(&ClusterSpec::tcp_v100(8), &mut net);
+        let _ = c.path(2, 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! The engine interface shared by AIACC and every baseline framework.
+//!
+//! A *DDL engine* models the communication side of one data-parallel
+//! training job on the simulated cluster. The training loop (in
+//! `aiacc-trainer`) owns the simulator and routes events:
+//!
+//! * gradient-ready events as each worker's backward pass produces tensors,
+//! * collective completions from the [`CollectiveEngine`],
+//! * engine-scheduled timers (tagged [`ENGINE_TIMER_KIND`]).
+//!
+//! The iteration's communication is finished when [`DdlEngine::comm_done`]
+//! reports `true`.
+
+use aiacc_cluster::ClusterNet;
+use aiacc_collectives::{CollectiveEngine, OpId};
+use aiacc_dnn::GradId;
+use aiacc_simnet::Simulator;
+
+/// Token `kind` reserved for engine timers; the training loop routes these
+/// to [`DdlEngine::on_timer`].
+pub const ENGINE_TIMER_KIND: u32 = 1000;
+
+/// Mutable context handed to every engine callback.
+#[derive(Debug)]
+pub struct DdlCtx<'a> {
+    /// The event simulator (for timers and custom flows).
+    pub sim: &'a mut Simulator,
+    /// The collective multiplexer.
+    pub coll: &'a mut CollectiveEngine,
+    /// Cluster topology.
+    pub cluster: &'a ClusterNet,
+    /// How many concurrent communication streams the GPUs can sustain right
+    /// now (depends on whether backward is still running — §II-D).
+    pub max_streams_now: usize,
+}
+
+/// The communication engine of one DDL framework.
+///
+/// Implementations: [`crate::AiaccEngine`] here, plus Horovod, PyTorch-DDP,
+/// BytePS and MXNet-KVStore in `aiacc-baselines`.
+pub trait DdlEngine {
+    /// Framework name for reports.
+    fn name(&self) -> String;
+
+    /// Resets per-iteration state. Called before any gradient of iteration
+    /// `iter` is produced.
+    fn begin_iteration(&mut self, cx: &mut DdlCtx<'_>, iter: u64);
+
+    /// Worker `worker` finished computing gradient `grad` locally.
+    fn on_grad_ready(&mut self, cx: &mut DdlCtx<'_>, worker: usize, grad: GradId);
+
+    /// Worker `worker` finished its entire backward pass.
+    fn on_backward_done(&mut self, cx: &mut DdlCtx<'_>, worker: usize);
+
+    /// A collective this engine launched has completed.
+    fn on_collective_done(&mut self, cx: &mut DdlCtx<'_>, op: OpId);
+
+    /// A timer this engine scheduled (token kind [`ENGINE_TIMER_KIND`]) has
+    /// fired, with the token's `a`/`b` payload.
+    fn on_timer(&mut self, cx: &mut DdlCtx<'_>, a: u32, b: u64);
+
+    /// `true` once every registered gradient has been aggregated across all
+    /// workers for the current iteration.
+    fn comm_done(&self) -> bool;
+}

@@ -1,0 +1,485 @@
+//! The AIACC multi-streamed concurrent gradient communication engine
+//! (Algorithm 1, Fig. 5–8).
+//!
+//! Per iteration the engine:
+//!
+//! 1. collects local readiness bits as workers produce gradients;
+//! 2. when any worker's un-synchronized ready volume reaches the
+//!    communication granularity, runs a decentralized **sync round** (ring
+//!    min-all-reduce of the bit vectors, costing only latency — §V-A2);
+//! 3. packs the globally agreed gradients into all-reduce units of the tuned
+//!    granularity (§V-B);
+//! 4. dispatches units to a pool of communication streams — each stream an
+//!    independent concurrent ring/tree all-reduce over the same physical
+//!    links (Fig. 7b) — bounded by the GPU's current stream budget;
+//! 5. unpacks completed units and reports the iteration done when every
+//!    gradient has been aggregated.
+
+use crate::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
+use crate::packing::{pack_units, AllReduceUnit, ReduceTracker};
+use crate::registry::GradientRegistry;
+use crate::syncvec::SyncVector;
+use aiacc_collectives::timing::sync_round_latency;
+use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
+use aiacc_dnn::{DType, GradId, ModelProfile};
+use aiacc_simnet::Token;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer code: a sync round finished.
+const TIMER_SYNC_DONE: u32 = 0;
+
+/// Tunable communication hyper-parameters — exactly the knobs the
+/// auto-tuner of §VI searches over.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AiaccConfig {
+    /// Communication thread-pool size (concurrent CUDA streams), N in
+    /// Algorithm 1.
+    pub streams: usize,
+    /// All-reduce unit granularity in bytes.
+    pub granularity: f64,
+    /// All-reduce algorithm.
+    pub algo: Algo,
+    /// Ring timing fidelity.
+    pub mode: RingMode,
+    /// Compress gradients to fp16 on the wire (§X).
+    pub compression: bool,
+}
+
+impl Default for AiaccConfig {
+    /// 8 streams, 16 MiB granularity, ring all-reduce, no compression —
+    /// a robust static setting near the auto-tuner's typical choice; §VI
+    /// tunes all three knobs per deployment.
+    fn default() -> Self {
+        AiaccConfig {
+            streams: 8,
+            granularity: 16.0 * 1024.0 * 1024.0,
+            algo: Algo::Ring,
+            mode: RingMode::Auto,
+            compression: false,
+        }
+    }
+}
+
+impl AiaccConfig {
+    /// Sets the stream count.
+    ///
+    /// # Panics
+    /// Panics if `streams` is zero.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        self.streams = streams;
+        self
+    }
+
+    /// Sets the unit granularity in bytes.
+    ///
+    /// # Panics
+    /// Panics if `granularity` is not strictly positive.
+    pub fn with_granularity(mut self, granularity: f64) -> Self {
+        assert!(granularity > 0.0 && granularity.is_finite(), "invalid granularity");
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the all-reduce algorithm.
+    pub fn with_algo(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the ring timing fidelity.
+    pub fn with_mode(mut self, mode: RingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables fp16 wire compression.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// The wire dtype implied by the compression flag.
+    pub fn wire_dtype(self) -> DType {
+        if self.compression {
+            DType::F16
+        } else {
+            DType::F32
+        }
+    }
+}
+
+/// Counters exposed for tests, tuning diagnostics and the experiment
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AiaccStats {
+    /// Decentralized sync rounds run this iteration.
+    pub sync_rounds: u64,
+    /// All-reduce units launched this iteration.
+    pub units_launched: u64,
+    /// Highest number of simultaneously active streams observed.
+    pub peak_streams: usize,
+}
+
+/// The AIACC-Training communication engine (timing plane).
+#[derive(Debug)]
+pub struct AiaccEngine {
+    cfg: AiaccConfig,
+    registry: GradientRegistry,
+    world: usize,
+    // Per-iteration state:
+    iter: u64,
+    ready: Vec<SyncVector>,
+    synced: SyncVector,
+    unsynced_bytes: Vec<f64>,
+    tracker: ReduceTracker,
+    queue: VecDeque<AllReduceUnit>,
+    inflight: HashMap<OpId, AllReduceUnit>,
+    sync_in_flight: bool,
+    backward_done: Vec<bool>,
+    stats: AiaccStats,
+}
+
+impl AiaccEngine {
+    /// Builds an engine for `model` on a `world`-GPU job.
+    ///
+    /// # Panics
+    /// Panics if `world` is zero.
+    pub fn new(model: &ModelProfile, world: usize, cfg: AiaccConfig) -> Self {
+        assert!(world > 0, "world must be positive");
+        let registry = GradientRegistry::from_profile(model, cfg.wire_dtype());
+        let n = registry.len();
+        let tracker = ReduceTracker::new(&registry);
+        AiaccEngine {
+            cfg,
+            registry,
+            world,
+            iter: 0,
+            ready: vec![SyncVector::new(n); world],
+            synced: SyncVector::new(n),
+            unsynced_bytes: vec![0.0; world],
+            tracker,
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            sync_in_flight: false,
+            backward_done: vec![false; world],
+            stats: AiaccStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> AiaccConfig {
+        self.cfg
+    }
+
+    /// This iteration's counters.
+    pub fn stats(&self) -> AiaccStats {
+        self.stats
+    }
+
+    /// The gradient registry in use.
+    pub fn registry(&self) -> &GradientRegistry {
+        &self.registry
+    }
+
+    /// Number of workers this engine coordinates.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn all_backward_done(&self) -> bool {
+        self.backward_done.iter().all(|&b| b)
+    }
+
+    /// Triggers a sync round when warranted: any worker's un-synchronized
+    /// ready volume has reached the granularity, or backward has finished and
+    /// gradients remain unagreed.
+    fn maybe_trigger_sync(&mut self, cx: &mut DdlCtx<'_>) {
+        if self.sync_in_flight || self.synced.all_ready() {
+            return;
+        }
+        let bucket_full = self.unsynced_bytes.iter().any(|&b| b >= self.cfg.granularity);
+        let flush = self.all_backward_done();
+        if bucket_full || flush {
+            self.sync_in_flight = true;
+            self.stats.sync_rounds += 1;
+            let latency = sync_round_latency(cx.cluster.spec());
+            cx.sim.schedule(latency, Token::new(ENGINE_TIMER_KIND, TIMER_SYNC_DONE, self.iter));
+        }
+    }
+
+    /// Completes a sync round: intersect all workers' bit vectors, pack the
+    /// newly agreed gradients, dispatch.
+    fn finish_sync(&mut self, cx: &mut DdlCtx<'_>) {
+        self.sync_in_flight = false;
+        let agreed = SyncVector::intersect_all(&self.ready);
+        let mut new_ids: Vec<GradId> = Vec::new();
+        for id in agreed.iter_ready() {
+            if !self.synced.get(id) {
+                self.synced.set(id);
+                new_ids.push(id);
+                let bytes = self.registry.get(id).bytes;
+                for b in self.unsynced_bytes.iter_mut() {
+                    *b = (*b - bytes).max(0.0);
+                }
+            }
+        }
+        if !new_ids.is_empty() {
+            let (full, partial) = pack_units(&self.registry, new_ids, self.cfg.granularity);
+            self.queue.extend(full);
+            // Units below the granularity are flushed with their sync round:
+            // holding them back would delay the tail of every round, and the
+            // batch already merged whatever arrived together.
+            self.queue.extend(partial);
+        }
+        self.dispatch(cx);
+        // More gradients may already be waiting (or the final flush may still
+        // be incomplete): chain another round if needed.
+        self.maybe_trigger_sync(cx);
+    }
+
+    /// Fills the stream pool up to the current budget (Algorithm 1, l. 4–10).
+    fn dispatch(&mut self, cx: &mut DdlCtx<'_>) {
+        let limit = self.cfg.streams.min(cx.max_streams_now).max(1);
+        while self.inflight.len() < limit {
+            let Some(unit) = self.queue.pop_front() else { break };
+            let spec = CollectiveSpec::allreduce(unit.bytes)
+                .with_algo(self.cfg.algo)
+                .with_mode(self.cfg.mode);
+            let op = cx.coll.launch(cx.sim, cx.cluster, spec);
+            self.inflight.insert(op, unit);
+            self.stats.units_launched += 1;
+        }
+        self.stats.peak_streams = self.stats.peak_streams.max(self.inflight.len());
+    }
+}
+
+impl DdlEngine for AiaccEngine {
+    fn name(&self) -> String {
+        format!(
+            "aiacc(streams={},gran={:.0}MiB,{:?})",
+            self.cfg.streams,
+            self.cfg.granularity / (1024.0 * 1024.0),
+            self.cfg.algo
+        )
+    }
+
+    fn begin_iteration(&mut self, _cx: &mut DdlCtx<'_>, iter: u64) {
+        self.iter = iter;
+        for v in &mut self.ready {
+            v.clear();
+        }
+        self.synced.clear();
+        self.unsynced_bytes.fill(0.0);
+        self.tracker = ReduceTracker::new(&self.registry);
+        self.queue.clear();
+        self.inflight.clear();
+        self.sync_in_flight = false;
+        self.backward_done.fill(false);
+        self.stats = AiaccStats::default();
+    }
+
+    fn on_grad_ready(&mut self, cx: &mut DdlCtx<'_>, worker: usize, grad: GradId) {
+        self.ready[worker].set(grad);
+        self.unsynced_bytes[worker] += self.registry.get(grad).bytes;
+        self.maybe_trigger_sync(cx);
+    }
+
+    fn on_backward_done(&mut self, cx: &mut DdlCtx<'_>, worker: usize) {
+        self.backward_done[worker] = true;
+        if self.all_backward_done() {
+            // Final flush: agree on (and send) everything that remains.
+            self.maybe_trigger_sync(cx);
+            // The stream budget also rises once compute is off the GPU.
+            self.dispatch(cx);
+        }
+    }
+
+    fn on_collective_done(&mut self, cx: &mut DdlCtx<'_>, op: OpId) {
+        let unit = self
+            .inflight
+            .remove(&op)
+            .expect("collective completion for unknown unit");
+        self.tracker.complete_unit(&unit);
+        self.dispatch(cx);
+    }
+
+    fn on_timer(&mut self, cx: &mut DdlCtx<'_>, a: u32, b: u64) {
+        if a == TIMER_SYNC_DONE && b == self.iter {
+            self.finish_sync(cx);
+        }
+    }
+
+    fn comm_done(&self) -> bool {
+        self.tracker.all_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::ENGINE_TIMER_KIND;
+    use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel};
+    use aiacc_collectives::CollectiveEngine;
+    use aiacc_dnn::zoo;
+    use aiacc_simnet::{Event, Simulator};
+
+    /// Minimal driver: all workers produce gradients on the model's backward
+    /// schedule (no jitter) and the engine runs to completion. Returns the
+    /// finish time in seconds.
+    fn drive(model: &ModelProfile, gpus: usize, cfg: AiaccConfig) -> (f64, AiaccStats) {
+        let spec = ClusterSpec::tcp_v100(gpus);
+        let mut sim = Simulator::new();
+        let cluster = ClusterNet::build(&spec, sim.net_mut());
+        let mut coll = CollectiveEngine::new();
+        let cm = ComputeModel::v100();
+        let timing = cm.iteration_timing(model, model.default_batch_per_gpu(), cfg.wire_dtype());
+        let mut eng = AiaccEngine::new(model, spec.world_size(), cfg);
+
+        const GRAD_KIND: u32 = 1;
+        const BWD_KIND: u32 = 2;
+        {
+            let mut cx = DdlCtx {
+                sim: &mut sim,
+                coll: &mut coll,
+                cluster: &cluster,
+                max_streams_now: cm.max_comm_streams_during_compute(model),
+            };
+            eng.begin_iteration(&mut cx, 0);
+        }
+        for w in 0..spec.world_size() {
+            for &(g, off) in &timing.grad_ready {
+                sim.schedule(timing.forward + off, Token::new(GRAD_KIND, w as u32, g.0 as u64));
+            }
+            sim.schedule(timing.forward + timing.backward, Token::new(BWD_KIND, w as u32, 0));
+        }
+        let mut busy = spec.world_size();
+        let mut t_done = 0.0;
+        while let Some((t, ev)) = sim.next_event() {
+            let streams = if busy > 0 {
+                cm.max_comm_streams_during_compute(model)
+            } else {
+                cm.max_comm_streams_idle()
+            };
+            let mut cx = DdlCtx {
+                sim: &mut sim,
+                coll: &mut coll,
+                cluster: &cluster,
+                max_streams_now: streams,
+            };
+            match ev {
+                Event::Timer(tok) if tok.kind == GRAD_KIND => {
+                    eng.on_grad_ready(&mut cx, tok.a as usize, GradId(tok.b as u32));
+                }
+                Event::Timer(tok) if tok.kind == BWD_KIND => {
+                    busy -= 1;
+                    eng.on_backward_done(&mut cx, tok.a as usize);
+                }
+                Event::Timer(tok) if tok.kind == ENGINE_TIMER_KIND => {
+                    eng.on_timer(&mut cx, tok.a, tok.b);
+                }
+                Event::Timer(_) => {}
+                Event::FlowCompleted(f) => {
+                    if let Some(op) = coll.on_flow_completed(&mut sim, f) {
+                        let mut cx2 = DdlCtx {
+                            sim: &mut sim,
+                            coll: &mut coll,
+                            cluster: &cluster,
+                            max_streams_now: streams,
+                        };
+                        eng.on_collective_done(&mut cx2, op);
+                    }
+                }
+            }
+            if eng.comm_done() {
+                t_done = t.as_secs_f64();
+                break;
+            }
+        }
+        assert!(eng.comm_done(), "engine never finished");
+        (t_done, eng.stats())
+    }
+
+    #[test]
+    fn completes_every_gradient_single_node() {
+        let (t, stats) = drive(&zoo::tiny_cnn(), 8, AiaccConfig::default());
+        assert!(t > 0.0);
+        assert!(stats.units_launched >= 1);
+        assert!(stats.sync_rounds >= 1);
+    }
+
+    #[test]
+    fn completes_resnet50_two_nodes() {
+        let cfg = AiaccConfig::default().with_streams(8);
+        let (t, stats) = drive(&zoo::resnet50(), 16, cfg);
+        // Compute-only backward is ~0.47 s; with overlap the comm should
+        // finish within ~3x of that, not serialize behind it.
+        assert!(t > 0.1 && t < 2.0, "finish at {t}");
+        assert!(stats.peak_streams > 1, "never used concurrent streams");
+    }
+
+    #[test]
+    fn more_streams_is_faster_on_comm_bound_model() {
+        // VGG-16 on 2 nodes is communication-bound: 1 stream vs 8 streams
+        // must show the paper's multi-stream speedup.
+        let (t1, _) = drive(&zoo::vgg16(), 16, AiaccConfig::default().with_streams(1));
+        let (t8, _) = drive(&zoo::vgg16(), 16, AiaccConfig::default().with_streams(8));
+        assert!(
+            t8 < t1 * 0.7,
+            "8 streams ({t8}s) should be much faster than 1 ({t1}s)"
+        );
+        // With 8 streams the communication is fully hidden behind compute:
+        // the finish time sits at the compute floor (fwd + bwd ≈ 0.69 s).
+        assert!(t8 < 0.78, "8-stream time {t8}s did not reach the compute floor");
+    }
+
+    #[test]
+    fn compression_halves_wire_time_when_comm_bound() {
+        // One stream keeps VGG-16 firmly communication-bound, so halving the
+        // wire bytes must show through end-to-end.
+        let base = AiaccConfig::default().with_streams(1);
+        let (t_full, _) = drive(&zoo::vgg16(), 16, base);
+        let (t_half, _) = drive(&zoo::vgg16(), 16, base.with_compression(true));
+        assert!(t_half < t_full * 0.75, "fp16 {t_half} vs fp32 {t_full}");
+    }
+
+    #[test]
+    fn granularity_extremes_still_complete() {
+        // Absurdly fine and absurdly coarse granularity both finish.
+        let fine = AiaccConfig::default().with_granularity(256.0 * 1024.0);
+        let coarse = AiaccConfig::default().with_granularity(1e9);
+        let (tf, sf) = drive(&zoo::tiny_cnn(), 8, fine);
+        let (tc, sc) = drive(&zoo::tiny_cnn(), 8, coarse);
+        assert!(tf > 0.0 && tc > 0.0);
+        assert!(sf.units_launched >= sc.units_launched);
+    }
+
+    #[test]
+    fn tree_algo_completes() {
+        let cfg = AiaccConfig::default().with_algo(Algo::Tree);
+        let (t, _) = drive(&zoo::resnet50(), 16, cfg);
+        assert!(t > 0.0 && t < 3.0);
+    }
+
+    #[test]
+    fn single_gpu_degenerates_gracefully() {
+        let (t, _) = drive(&zoo::tiny_cnn(), 1, AiaccConfig::default());
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn sync_rounds_scale_with_gradient_volume() {
+        let small_gran = AiaccConfig::default().with_granularity(8.0 * 1024.0 * 1024.0);
+        let (_, stats) = drive(&zoo::resnet50(), 8, small_gran);
+        // 102 MB of gradients at 8 MiB buckets: many rounds.
+        assert!(stats.sync_rounds >= 5, "got {}", stats.sync_rounds);
+    }
+
+    #[test]
+    fn engine_reports_name_with_config() {
+        let eng = AiaccEngine::new(&zoo::tiny_cnn(), 4, AiaccConfig::default());
+        assert!(eng.name().contains("aiacc"));
+        assert!(eng.name().contains("streams=8"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Perseus — the data-plane gradient aggregation API.
+//!
+//! Named after AIACC-Training's unified communication API (§IV). This is the
+//! *numerical* counterpart of the timing engine: real `f32` gradients from
+//! real training workers are packed into all-reduce units, pushed through
+//! the exact chunk-level ring (or hierarchical) all-reduce, optionally
+//! compressed to fp16 for the wire, averaged, and unpacked — with the
+//! guarantee that every worker receives **bit-identical** aggregated
+//! gradients.
+//!
+//! The API is lock-step: one call aggregates one iteration's gradients for
+//! all workers, mirroring how the simulation's workers are modelled in a
+//! single process.
+
+use crate::packing::pack_units;
+use crate::registry::GradientRegistry;
+use aiacc_collectives::dataplane::{ring_allreduce, tree_allreduce, ReduceOp};
+use aiacc_dnn::{f16, DType};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`Perseus`] data-plane session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerseusConfig {
+    /// Number of training workers.
+    pub world: usize,
+    /// Packing granularity in bytes (f32 elements on the data plane).
+    pub granularity: f64,
+    /// Use the hierarchical algorithm with this node size (`None` = flat
+    /// ring).
+    pub gpus_per_node: Option<usize>,
+    /// Divide the aggregate by the world size (gradient *averaging*).
+    pub average: bool,
+    /// Round gradients through fp16 before reduction, as the compressed wire
+    /// format would (§X).
+    pub compression: bool,
+}
+
+impl PerseusConfig {
+    /// A flat-ring averaging session for `world` workers.
+    ///
+    /// # Panics
+    /// Panics if `world` is zero.
+    pub fn new(world: usize) -> Self {
+        assert!(world > 0, "world must be positive");
+        PerseusConfig {
+            world,
+            granularity: 4.0 * 1024.0 * 1024.0,
+            gpus_per_node: None,
+            average: true,
+            compression: false,
+        }
+    }
+
+    /// Sets the packing granularity in bytes.
+    ///
+    /// # Panics
+    /// Panics if non-positive.
+    pub fn with_granularity(mut self, bytes: f64) -> Self {
+        assert!(bytes > 0.0 && bytes.is_finite(), "invalid granularity");
+        self.granularity = bytes;
+        self
+    }
+
+    /// Switches to the hierarchical (tree) algorithm.
+    ///
+    /// # Panics
+    /// Panics if `gpus_per_node` is zero or does not divide the world size.
+    pub fn with_tree(mut self, gpus_per_node: usize) -> Self {
+        assert!(gpus_per_node > 0, "gpus_per_node must be positive");
+        assert_eq!(self.world % gpus_per_node, 0, "world not a multiple of node size");
+        self.gpus_per_node = Some(gpus_per_node);
+        self
+    }
+
+    /// Enables fp16 wire emulation.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// Disables averaging (plain sum).
+    pub fn with_sum(mut self) -> Self {
+        self.average = false;
+        self
+    }
+}
+
+/// A lock-step multi-worker gradient aggregation session.
+///
+/// # Example
+/// ```
+/// use aiacc_core::{Perseus, PerseusConfig};
+/// let layout = vec![("fc.weight".to_string(), 2usize)];
+/// let p = Perseus::new(&layout, PerseusConfig::new(2));
+/// let out = p.allreduce_step(vec![
+///     vec![vec![1.0, 2.0]],
+///     vec![vec![3.0, 4.0]],
+/// ]);
+/// assert_eq!(out[0], vec![2.0, 3.0]); // averaged
+/// ```
+#[derive(Debug, Clone)]
+pub struct Perseus {
+    cfg: PerseusConfig,
+    registry: GradientRegistry,
+}
+
+impl Perseus {
+    /// Opens a session for gradient tensors described by `layout`
+    /// (`(name, element_count)` in registration order).
+    pub fn new(layout: &[(String, usize)], cfg: PerseusConfig) -> Self {
+        let registry = GradientRegistry::from_layout(layout, DType::F32);
+        Perseus { cfg, registry }
+    }
+
+    /// Number of workers in the session.
+    pub fn world_size(&self) -> usize {
+        self.cfg.world
+    }
+
+    /// The registered gradient set.
+    pub fn registry(&self) -> &GradientRegistry {
+        &self.registry
+    }
+
+    /// Aggregates one iteration's gradients.
+    ///
+    /// `grads_per_worker[w][t]` is worker `w`'s gradient for registered
+    /// tensor `t`. Returns the aggregated (averaged, unless configured as a
+    /// sum) gradients — identical for every worker, so a single copy is
+    /// returned.
+    ///
+    /// # Panics
+    /// Panics if the outer length differs from the world size or any tensor
+    /// shape disagrees with the registry.
+    pub fn allreduce_step(&self, grads_per_worker: Vec<Vec<Vec<f32>>>) -> Vec<Vec<f32>> {
+        let w = self.cfg.world;
+        assert_eq!(grads_per_worker.len(), w, "expected one gradient set per worker");
+        for (wi, set) in grads_per_worker.iter().enumerate() {
+            assert_eq!(set.len(), self.registry.len(), "worker {wi}: wrong tensor count");
+            for (ti, t) in set.iter().enumerate() {
+                assert_eq!(
+                    t.len(),
+                    self.registry.get(aiacc_dnn::GradId(ti as u32)).elems,
+                    "worker {wi} tensor {ti}: wrong length"
+                );
+            }
+        }
+
+        // Pack every registered gradient into units (§V-B): the packing is a
+        // pure function of the registry and granularity, so all workers agree.
+        let all_ids = self.registry.iter().map(|g| g.id);
+        let (mut units, partial) = pack_units(&self.registry, all_ids, self.cfg.granularity);
+        units.extend(partial);
+
+        let mut out: Vec<Vec<f32>> =
+            self.registry.iter().map(|g| vec![0.0; g.elems]).collect();
+
+        for unit in &units {
+            // Gather each worker's unit payload.
+            let mut bufs: Vec<Vec<f32>> = (0..w)
+                .map(|wi| {
+                    let mut buf = Vec::with_capacity(unit.elems());
+                    for seg in &unit.segments {
+                        let t = &grads_per_worker[wi][seg.grad.as_usize()];
+                        buf.extend_from_slice(&t[seg.offset..seg.offset + seg.elems]);
+                    }
+                    if self.cfg.compression {
+                        // The wire carries fp16: quantize before reduction.
+                        buf = f16::decompress(&f16::compress(&buf));
+                    }
+                    buf
+                })
+                .collect();
+
+            match self.cfg.gpus_per_node {
+                Some(g) => tree_allreduce(&mut bufs, g, ReduceOp::Sum),
+                None => ring_allreduce(&mut bufs, ReduceOp::Sum),
+            }
+            debug_assert!(bufs.windows(2).all(|p| p[0] == p[1]), "workers diverged");
+
+            // Unpack (Algorithm 1, l. 13) from worker 0's — identical — copy.
+            let reduced = &bufs[0];
+            let mut off = 0;
+            for seg in &unit.segments {
+                let dst = &mut out[seg.grad.as_usize()][seg.offset..seg.offset + seg.elems];
+                dst.copy_from_slice(&reduced[off..off + seg.elems]);
+                off += seg.elems;
+            }
+        }
+
+        if self.cfg.average {
+            let inv = 1.0 / w as f32;
+            for t in &mut out {
+                for v in t.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Broadcasts `params` from the root to all workers — used when an
+    /// elastic deployment adds a node and must seed it with the current
+    /// model state (§IV "elastic deployment").
+    pub fn broadcast_parameters(&self, params: &[f32]) -> Vec<Vec<f32>> {
+        (0..self.cfg.world).map(|_| params.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(sizes: &[usize]) -> Vec<(String, usize)> {
+        sizes.iter().enumerate().map(|(i, &s)| (format!("t{i}"), s)).collect()
+    }
+
+    #[test]
+    fn averages_across_workers() {
+        let p = Perseus::new(&layout(&[3]), PerseusConfig::new(4));
+        let grads = (0..4).map(|w| vec![vec![w as f32; 3]]).collect();
+        let out = p.allreduce_step(grads);
+        assert_eq!(out[0], vec![1.5; 3]); // (0+1+2+3)/4
+    }
+
+    #[test]
+    fn sum_mode_skips_averaging() {
+        let p = Perseus::new(&layout(&[2]), PerseusConfig::new(3).with_sum());
+        let grads = (0..3).map(|_| vec![vec![1.0, 2.0]]).collect();
+        let out = p.allreduce_step(grads);
+        assert_eq!(out[0], vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn packing_granularity_does_not_change_results() {
+        let sizes = [100usize, 7, 64, 3];
+        let mk = |gran: f64| {
+            let p = Perseus::new(&layout(&sizes), PerseusConfig::new(3).with_granularity(gran));
+            let grads: Vec<Vec<Vec<f32>>> = (0..3)
+                .map(|w| {
+                    sizes
+                        .iter()
+                        .map(|&s| (0..s).map(|i| (w * 31 + i) as f32 * 0.01).collect())
+                        .collect()
+                })
+                .collect();
+            p.allreduce_step(grads)
+        };
+        let fine = mk(16.0); // 4 elements per unit
+        let coarse = mk(1e9);
+        for (a, b) in fine.iter().zip(&coarse) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_matches_ring_numerically() {
+        let sizes = [50usize, 13];
+        let grads: Vec<Vec<Vec<f32>>> = (0..8)
+            .map(|w| {
+                sizes
+                    .iter()
+                    .map(|&s| (0..s).map(|i| ((w + 1) * (i + 1)) as f32 * 1e-3).collect())
+                    .collect()
+            })
+            .collect();
+        let ring = Perseus::new(&layout(&sizes), PerseusConfig::new(8));
+        let tree = Perseus::new(&layout(&sizes), PerseusConfig::new(8).with_tree(4));
+        let a = ring.allreduce_step(grads.clone());
+        let b = tree.allreduce_step(grads);
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_introduces_bounded_error() {
+        let p = Perseus::new(&layout(&[100]), PerseusConfig::new(2));
+        let pc = Perseus::new(&layout(&[100]), PerseusConfig::new(2).with_compression(true));
+        let grads: Vec<Vec<Vec<f32>>> = (0..2)
+            .map(|w| vec![(0..100).map(|i| (i as f32 - 50.0) * 1e-3 * (w + 1) as f32).collect()])
+            .collect();
+        let exact = p.allreduce_step(grads.clone());
+        let lossy = pc.allreduce_step(grads);
+        let mut max_rel: f32 = 0.0;
+        for (a, b) in exact[0].iter().zip(&lossy[0]) {
+            if a.abs() > 1e-6 {
+                max_rel = max_rel.max((a - b).abs() / a.abs());
+            }
+        }
+        assert!(max_rel > 0.0, "compression had no effect at all");
+        assert!(max_rel < 1e-2, "compression error too large: {max_rel}");
+    }
+
+    #[test]
+    fn broadcast_replicates_parameters() {
+        let p = Perseus::new(&layout(&[4]), PerseusConfig::new(3));
+        let replicas = p.broadcast_parameters(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(replicas.len(), 3);
+        assert!(replicas.iter().all(|r| r == &vec![1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong tensor count")]
+    fn wrong_tensor_count_rejected() {
+        let p = Perseus::new(&layout(&[2, 2]), PerseusConfig::new(2));
+        let _ = p.allreduce_step(vec![vec![vec![0.0; 2]], vec![vec![0.0; 2]]]);
+    }
+}

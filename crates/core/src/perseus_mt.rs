@@ -1,0 +1,216 @@
+//! Threaded Perseus: per-worker handles over real OS threads.
+//!
+//! [`crate::Perseus`] is lock-step (one call aggregates everyone's
+//! gradients); this module provides the Horovod-shaped alternative the
+//! paper's API implies — every training worker holds its own handle, calls
+//! `allreduce` with just *its* gradients, and blocks until the collective
+//! completes. A coordinator thread plays the role of the per-GPU MPI
+//! communication processes (Fig. 4): it gathers one submission per rank,
+//! runs the exact packed ring all-reduce, and returns the aggregated
+//! gradients to every caller.
+
+use crate::perseus::{Perseus, PerseusConfig};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread;
+
+enum Msg {
+    Submit { rank: usize, grads: Vec<Vec<f32>>, reply: Sender<Vec<Vec<f32>>> },
+}
+
+/// A per-worker endpoint of a threaded Perseus session.
+///
+/// Handles are `Send`: move each one into its worker thread.
+#[derive(Debug)]
+pub struct PerseusHandle {
+    rank: usize,
+    world: usize,
+    to_coordinator: Sender<Msg>,
+}
+
+impl PerseusHandle {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the session.
+    pub fn size(&self) -> usize {
+        self.world
+    }
+
+    /// Submits this worker's gradients and blocks until every rank has
+    /// contributed and the aggregate is ready (synchronous data-parallel
+    /// semantics).
+    ///
+    /// # Panics
+    /// Panics if the coordinator has shut down (another handle was dropped
+    /// mid-round) or the tensor shapes disagree with the registration.
+    pub fn allreduce(&self, grads: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.to_coordinator
+            .send(Msg::Submit { rank: self.rank, grads, reply: reply_tx })
+            .expect("perseus coordinator is gone");
+        reply_rx.recv().expect("perseus coordinator dropped mid-round")
+    }
+}
+
+/// Launches a threaded session: returns one handle per rank. The
+/// coordinator thread exits when every handle has been dropped.
+///
+/// # Example
+/// ```
+/// use aiacc_core::{perseus_world, PerseusConfig};
+/// use std::thread;
+///
+/// let layout = vec![("g".to_string(), 2usize)];
+/// let handles = perseus_world(&layout, PerseusConfig::new(3));
+/// let joins: Vec<_> = handles
+///     .into_iter()
+///     .map(|h| {
+///         thread::spawn(move || {
+///             let out = h.allreduce(vec![vec![h.rank() as f32; 2]]);
+///             out[0][0]
+///         })
+///     })
+///     .collect();
+/// for j in joins {
+///     assert_eq!(j.join().unwrap(), 1.0); // (0+1+2)/3
+/// }
+/// ```
+pub fn perseus_world(layout: &[(String, usize)], cfg: PerseusConfig) -> Vec<PerseusHandle> {
+    let world = cfg.world;
+    let session = Perseus::new(layout, cfg);
+    let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+
+    thread::spawn(move || coordinator_loop(session, rx, world));
+
+    (0..world)
+        .map(|rank| PerseusHandle { rank, world, to_coordinator: tx.clone() })
+        .collect()
+}
+
+fn coordinator_loop(session: Perseus, rx: Receiver<Msg>, world: usize) {
+    loop {
+        // Gather exactly one submission per rank for this round.
+        let mut pending: Vec<Option<(Vec<Vec<f32>>, Sender<Vec<Vec<f32>>>)>> =
+            (0..world).map(|_| None).collect();
+        let mut received = 0;
+        while received < world {
+            let Ok(Msg::Submit { rank, grads, reply }) = rx.recv() else {
+                // All handles dropped: session over.
+                return;
+            };
+            assert!(pending[rank].is_none(), "rank {rank} submitted twice in one round");
+            pending[rank] = Some((grads, reply));
+            received += 1;
+        }
+        let mut replies = Vec::with_capacity(world);
+        let grads_per_worker: Vec<Vec<Vec<f32>>> = pending
+            .into_iter()
+            .map(|slot| {
+                let (grads, reply) = slot.expect("all ranks present");
+                replies.push(reply);
+                grads
+            })
+            .collect();
+        let result = session.allreduce_step(grads_per_worker);
+        for reply in replies {
+            // A dropped handle mid-round only loses its own reply.
+            let _ = reply.send(result.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(sizes: &[usize]) -> Vec<(String, usize)> {
+        sizes.iter().enumerate().map(|(i, &s)| (format!("t{i}"), s)).collect()
+    }
+
+    #[test]
+    fn threads_receive_identical_averages() {
+        let handles = perseus_world(&layout(&[3, 1]), PerseusConfig::new(4));
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let r = h.rank() as f32;
+                    h.allreduce(vec![vec![r; 3], vec![10.0 * r]])
+                })
+            })
+            .collect();
+        let results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(results[0][0], vec![1.5; 3]); // mean of 0..4
+        assert_eq!(results[0][1], vec![15.0]);
+    }
+
+    #[test]
+    fn multiple_rounds_in_any_thread_order() {
+        let handles = perseus_world(&layout(&[2]), PerseusConfig::new(3));
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let mut outs = Vec::new();
+                    for round in 0..5u32 {
+                        let v = (h.rank() as f32) + round as f32;
+                        outs.push(h.allreduce(vec![vec![v, -v]])[0][0]);
+                    }
+                    outs
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        for r in &results {
+            // Round k: mean over ranks of (rank + k) = 1 + k.
+            for (k, &v) in r.iter().enumerate() {
+                assert!((v - (1.0 + k as f32)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_lockstep_session() {
+        let sizes = [5usize, 2];
+        let grads: Vec<Vec<Vec<f32>>> = (0..3)
+            .map(|w| {
+                sizes.iter().map(|&s| (0..s).map(|i| (w * 7 + i) as f32 * 0.3).collect()).collect()
+            })
+            .collect();
+        let lockstep = Perseus::new(&layout(&sizes), PerseusConfig::new(3));
+        let want = lockstep.allreduce_step(grads.clone());
+
+        let handles = perseus_world(&layout(&sizes), PerseusConfig::new(3));
+        let joins: Vec<_> = handles
+            .into_iter()
+            .zip(grads)
+            .map(|(h, g)| thread::spawn(move || h.allreduce(g)))
+            .collect();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn dropping_all_handles_shuts_down_cleanly() {
+        let handles = perseus_world(&layout(&[1]), PerseusConfig::new(2));
+        drop(handles);
+        // Nothing to assert directly — the coordinator must exit instead of
+        // spinning; give it a moment and rely on the test harness to catch
+        // leaks/hangs.
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn handle_reports_identity() {
+        let handles = perseus_world(&layout(&[1]), PerseusConfig::new(2));
+        assert_eq!(handles[0].rank(), 0);
+        assert_eq!(handles[1].rank(), 1);
+        assert_eq!(handles[0].size(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! The gradient message queue between the training worker and the
+//! communication process (Fig. 6 / Fig. 8, §V-A2).
+//!
+//! During backward propagation a hook pushes every computed gradient tensor
+//! into this queue; the communication side drains it in **communication
+//! buckets**: once the queued volume reaches the minimum communication
+//! granularity, a batch is handed over (in the real system this is the
+//! moment the CPU-side MPI process wakes up, sets the sync-vector bits and
+//! moves tensors into the communication bucket). This is the data-plane
+//! counterpart of [`crate::AiaccEngine`]'s trigger logic.
+
+use crate::registry::GradientRegistry;
+use aiacc_dnn::{GradId, Tensor};
+use std::collections::VecDeque;
+
+/// A drained communication bucket: gradients in push order.
+pub type Bucket = Vec<(GradId, Tensor)>;
+
+/// The per-worker gradient queue with granularity-triggered draining.
+///
+/// # Example
+/// ```
+/// use aiacc_core::{GradientQueue, GradientRegistry};
+/// use aiacc_dnn::{DType, GradId, Tensor};
+/// let layout = vec![("a".to_string(), 4usize), ("b".to_string(), 4)];
+/// let reg = GradientRegistry::from_layout(&layout, DType::F32);
+/// let mut q = GradientQueue::new(&reg, 32.0); // granularity: 8 elements
+/// assert!(q.push(GradId(0), Tensor::zeros(4)).is_none()); // 16 B queued
+/// let bucket = q.push(GradId(1), Tensor::zeros(4)).expect("granularity met");
+/// assert_eq!(bucket.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientQueue {
+    granularity: f64,
+    elem_bytes: f64,
+    expected_elems: Vec<usize>,
+    pending: VecDeque<(GradId, Tensor)>,
+    pending_bytes: f64,
+    pushed: Vec<bool>,
+}
+
+impl GradientQueue {
+    /// Creates a queue for the registered gradient set, draining whenever
+    /// `granularity` bytes are waiting.
+    ///
+    /// # Panics
+    /// Panics if `granularity` is not strictly positive.
+    pub fn new(registry: &GradientRegistry, granularity: f64) -> Self {
+        assert!(granularity > 0.0 && granularity.is_finite(), "invalid granularity");
+        GradientQueue {
+            granularity,
+            elem_bytes: registry.dtype().bytes_per_elem() as f64,
+            expected_elems: registry.iter().map(|g| g.elems).collect(),
+            pending: VecDeque::new(),
+            pending_bytes: 0.0,
+            pushed: vec![false; registry.len()],
+        }
+    }
+
+    /// Bytes currently waiting.
+    pub fn pending_bytes(&self) -> f64 {
+        self.pending_bytes
+    }
+
+    /// The hook callback: pushes a locally computed gradient. Returns a
+    /// drained bucket when the queued volume reaches the granularity.
+    ///
+    /// # Panics
+    /// Panics if the gradient id is unknown, its length disagrees with the
+    /// registration, or it was already pushed this iteration.
+    pub fn push(&mut self, id: GradId, tensor: Tensor) -> Option<Bucket> {
+        let idx = id.as_usize();
+        assert!(idx < self.expected_elems.len(), "unregistered gradient {id}");
+        assert_eq!(tensor.len(), self.expected_elems[idx], "{id}: wrong tensor length");
+        assert!(!self.pushed[idx], "{id} pushed twice in one iteration");
+        self.pushed[idx] = true;
+        self.pending_bytes += tensor.len() as f64 * self.elem_bytes;
+        self.pending.push_back((id, tensor));
+        (self.pending_bytes >= self.granularity).then(|| self.drain())
+    }
+
+    /// Drains whatever is waiting (the end-of-backward flush).
+    pub fn flush(&mut self) -> Bucket {
+        self.drain()
+    }
+
+    /// `true` once every registered gradient has been pushed this iteration.
+    pub fn all_pushed(&self) -> bool {
+        self.pushed.iter().all(|&b| b)
+    }
+
+    /// Resets for the next iteration.
+    ///
+    /// # Panics
+    /// Panics if gradients are still waiting un-drained (losing them would
+    /// silently corrupt training).
+    pub fn reset(&mut self) {
+        assert!(self.pending.is_empty(), "resetting a queue with pending gradients");
+        self.pushed.fill(false);
+    }
+
+    fn drain(&mut self) -> Bucket {
+        self.pending_bytes = 0.0;
+        self.pending.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiacc_dnn::DType;
+
+    fn queue(sizes: &[usize], gran: f64) -> GradientQueue {
+        let layout: Vec<(String, usize)> =
+            sizes.iter().enumerate().map(|(i, &s)| (format!("g{i}"), s)).collect();
+        let reg = GradientRegistry::from_layout(&layout, DType::F32);
+        GradientQueue::new(&reg, gran)
+    }
+
+    #[test]
+    fn drains_at_granularity_in_push_order() {
+        let mut q = queue(&[2, 2, 2], 16.0);
+        assert!(q.push(GradId(2), Tensor::zeros(2)).is_none());
+        let b = q.push(GradId(0), Tensor::zeros(2)).expect("16 bytes reached");
+        assert_eq!(b[0].0, GradId(2));
+        assert_eq!(b[1].0, GradId(0));
+        assert_eq!(q.pending_bytes(), 0.0);
+    }
+
+    #[test]
+    fn flush_returns_the_tail() {
+        let mut q = queue(&[2, 2, 2], 1e9);
+        q.push(GradId(0), Tensor::zeros(2));
+        q.push(GradId(1), Tensor::zeros(2));
+        assert!(!q.all_pushed());
+        q.push(GradId(2), Tensor::zeros(2));
+        assert!(q.all_pushed());
+        let b = q.flush();
+        assert_eq!(b.len(), 3);
+        q.reset();
+        assert!(!q.all_pushed());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn double_push_rejected() {
+        let mut q = queue(&[2], 1e9);
+        q.push(GradId(0), Tensor::zeros(2));
+        q.push(GradId(0), Tensor::zeros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong tensor length")]
+    fn wrong_length_rejected() {
+        let mut q = queue(&[2], 1e9);
+        q.push(GradId(0), Tensor::zeros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "pending gradients")]
+    fn reset_with_pending_rejected() {
+        let mut q = queue(&[2], 1e9);
+        q.push(GradId(0), Tensor::zeros(2));
+        q.reset();
+    }
+
+    #[test]
+    fn synthetic_tensors_flow_through() {
+        let mut q = queue(&[1000], 2000.0);
+        let b = q.push(GradId(0), Tensor::synthetic(1000)).expect("4000 B > 2000 B");
+        assert!(b[0].1.is_synthetic());
+    }
+}

@@ -1,0 +1,257 @@
+//! Wire format for communication buckets.
+//!
+//! When a bucket leaves the gradient queue for the network, the
+//! communication process serializes it into a framed message: a fixed
+//! header, the segment table (which slices of which gradients the frame
+//! carries — the receiver needs it to unpack, Algorithm 1 l. 13), and the
+//! payload in the wire dtype (fp32, or fp16 when compression is on, §X).
+//!
+//! The format is explicit and versioned so heterogeneous builds can refuse
+//! frames they do not understand instead of corrupting gradients.
+
+use crate::packing::Segment;
+use aiacc_dnn::{f16, DType, GradId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"AIAC";
+const VERSION: u8 = 1;
+
+/// A decoded frame: the segment table plus the payload as f32.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Which gradient slices the payload covers, in payload order.
+    pub segments: Vec<Segment>,
+    /// Payload values (widened to f32 if the wire carried fp16).
+    pub values: Vec<f32>,
+    /// The dtype that was on the wire.
+    pub wire_dtype: DType,
+}
+
+/// Frame decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeWireError {
+    /// The magic bytes did not match — not an AIACC frame.
+    BadMagic,
+    /// Unknown format version.
+    UnsupportedVersion(u8),
+    /// Unknown dtype tag.
+    BadDtype(u8),
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// Segment lengths disagree with the payload size.
+    LengthMismatch {
+        /// Elements promised by the segment table.
+        declared: usize,
+        /// Elements present in the payload.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DecodeWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeWireError::BadMagic => write!(f, "not an AIACC frame (bad magic)"),
+            DecodeWireError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            DecodeWireError::BadDtype(d) => write!(f, "unknown dtype tag {d}"),
+            DecodeWireError::Truncated => write!(f, "frame truncated"),
+            DecodeWireError::LengthMismatch { declared, actual } => {
+                write!(f, "segment table declares {declared} elements, payload has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeWireError {}
+
+/// Encodes a bucket into a framed wire message.
+///
+/// `values` is the concatenated payload in segment order; with
+/// `DType::F16` it is quantized on the way out.
+///
+/// # Panics
+/// Panics if `values.len()` disagrees with the segment table.
+pub fn encode_frame(segments: &[Segment], values: &[f32], wire_dtype: DType) -> Bytes {
+    let declared: usize = segments.iter().map(|s| s.elems).sum();
+    assert_eq!(declared, values.len(), "segment table/payload mismatch");
+    let mut buf = BytesMut::with_capacity(
+        4 + 1 + 1 + 2 + 4 + segments.len() * 20 + values.len() * wire_dtype.bytes_per_elem(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(match wire_dtype {
+        DType::F32 => 0,
+        DType::F16 => 1,
+    });
+    buf.put_u16(0); // reserved
+    buf.put_u32(u32::try_from(segments.len()).expect("too many segments"));
+    for s in segments {
+        buf.put_u32(s.grad.0);
+        buf.put_u64(s.offset as u64);
+        buf.put_u64(s.elems as u64);
+    }
+    match wire_dtype {
+        DType::F32 => {
+            for &v in values {
+                buf.put_f32_le(v);
+            }
+        }
+        DType::F16 => {
+            for &v in values {
+                buf.put_u16_le(f16::f32_to_f16(v));
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a framed wire message.
+///
+/// # Errors
+/// Returns a [`DecodeWireError`] for anything other than a well-formed
+/// frame; no partial data is ever returned.
+pub fn decode_frame(mut buf: &[u8]) -> Result<Frame, DecodeWireError> {
+    if buf.remaining() < 12 {
+        return Err(DecodeWireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeWireError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeWireError::UnsupportedVersion(version));
+    }
+    let dtype = match buf.get_u8() {
+        0 => DType::F32,
+        1 => DType::F16,
+        d => return Err(DecodeWireError::BadDtype(d)),
+    };
+    let _reserved = buf.get_u16();
+    let n_segments = buf.get_u32() as usize;
+    if buf.remaining() < n_segments * 20 {
+        return Err(DecodeWireError::Truncated);
+    }
+    let mut segments = Vec::with_capacity(n_segments);
+    let mut declared = 0usize;
+    for _ in 0..n_segments {
+        let grad = GradId(buf.get_u32());
+        let offset = buf.get_u64() as usize;
+        let elems = buf.get_u64() as usize;
+        declared += elems;
+        segments.push(Segment { grad, offset, elems });
+    }
+    let elem_bytes = dtype.bytes_per_elem();
+    let actual = buf.remaining() / elem_bytes;
+    if buf.remaining() % elem_bytes != 0 || actual < declared {
+        return Err(DecodeWireError::Truncated);
+    }
+    if actual != declared {
+        return Err(DecodeWireError::LengthMismatch { declared, actual });
+    }
+    let mut values = Vec::with_capacity(declared);
+    match dtype {
+        DType::F32 => {
+            for _ in 0..declared {
+                values.push(buf.get_f32_le());
+            }
+        }
+        DType::F16 => {
+            for _ in 0..declared {
+                values.push(f16::f16_to_f32(buf.get_u16_le()));
+            }
+        }
+    }
+    Ok(Frame { segments, values, wire_dtype: dtype })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segments() -> Vec<Segment> {
+        vec![
+            Segment { grad: GradId(3), offset: 0, elems: 4 },
+            Segment { grad: GradId(7), offset: 128, elems: 2 },
+        ]
+    }
+
+    #[test]
+    fn f32_roundtrip_is_exact() {
+        let vals = vec![1.0, -2.5, 3.25, 0.0, 1e-8, 6.0e4];
+        let frame = encode_frame(&segments(), &vals, DType::F32);
+        let decoded = decode_frame(&frame).unwrap();
+        assert_eq!(decoded.values, vals);
+        assert_eq!(decoded.segments, segments());
+        assert_eq!(decoded.wire_dtype, DType::F32);
+    }
+
+    #[test]
+    fn f16_roundtrip_bounded_error_and_half_size() {
+        let vals = vec![0.5, -0.25, 2.0, 100.0, 3.0e-3, 0.0];
+        let full = encode_frame(&segments(), &vals, DType::F32);
+        let half = encode_frame(&segments(), &vals, DType::F16);
+        assert!(half.len() < full.len());
+        let decoded = decode_frame(&half).unwrap();
+        for (a, b) in vals.iter().zip(&decoded.values) {
+            let tol = a.abs() * 1e-3 + 1e-6;
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(&segments(), &[0.0; 6], DType::F32).to_vec();
+        frame[0] = b'X';
+        assert_eq!(decode_frame(&frame), Err(DecodeWireError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut frame = encode_frame(&segments(), &[0.0; 6], DType::F32).to_vec();
+        frame[4] = 99;
+        assert_eq!(decode_frame(&frame), Err(DecodeWireError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let frame = encode_frame(&segments(), &[1.0; 6], DType::F32);
+        for cut in [0usize, 5, 11, 12, 30, frame.len() - 1] {
+            let r = decode_frame(&frame[..cut]);
+            assert!(r.is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn extra_payload_is_a_length_mismatch() {
+        let mut frame = encode_frame(&segments(), &[1.0; 6], DType::F32).to_vec();
+        frame.extend_from_slice(&[0u8; 8]); // two extra f32
+        assert_eq!(
+            decode_frame(&frame),
+            Err(DecodeWireError::LengthMismatch { declared: 6, actual: 8 })
+        );
+    }
+
+    #[test]
+    fn empty_bucket_frame_roundtrips() {
+        let frame = encode_frame(&[], &[], DType::F32);
+        let decoded = decode_frame(&frame).unwrap();
+        assert!(decoded.segments.is_empty());
+        assert!(decoded.values.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn encode_validates_lengths() {
+        let _ = encode_frame(&segments(), &[0.0; 5], DType::F32);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = DecodeWireError::LengthMismatch { declared: 6, actual: 8 };
+        assert!(format!("{e}").contains("6"));
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("payload"));
+    }
+}

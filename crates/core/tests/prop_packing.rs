@@ -1,0 +1,135 @@
+//! Property-based tests of gradient packing and the reduce tracker.
+
+use aiacc_core::packing::{pack_units, ReduceTracker};
+use aiacc_core::{GradientRegistry, SyncVector};
+use aiacc_dnn::{DType, GradId};
+use proptest::prelude::*;
+
+fn registry_from(sizes: &[usize]) -> GradientRegistry {
+    let layout: Vec<(String, usize)> =
+        sizes.iter().enumerate().map(|(i, &s)| (format!("g{i}"), s)).collect();
+    GradientRegistry::from_layout(&layout, DType::F32)
+}
+
+proptest! {
+    /// Packing covers every element of every requested gradient exactly once.
+    #[test]
+    fn packing_is_an_exact_partition(
+        sizes in prop::collection::vec(0usize..5000, 1..40),
+        gran_elems in 1usize..4096,
+    ) {
+        let reg = registry_from(&sizes);
+        let ids: Vec<GradId> = (0..sizes.len() as u32).map(GradId).collect();
+        let (full, partial) = pack_units(&reg, ids, (gran_elems * 4) as f64);
+        let mut covered = vec![0usize; sizes.len()];
+        for unit in full.iter().chain(partial.iter()) {
+            let mut unit_elems = 0usize;
+            for seg in &unit.segments {
+                covered[seg.grad.as_usize()] += seg.elems;
+                unit_elems += seg.elems;
+                prop_assert!(seg.offset + seg.elems <= sizes[seg.grad.as_usize()]);
+            }
+            prop_assert!(unit_elems <= gran_elems, "unit exceeds granularity");
+        }
+        prop_assert_eq!(covered, sizes);
+    }
+
+    /// Every full unit (all but the trailing partial) is filled exactly to
+    /// the granularity.
+    #[test]
+    fn full_units_are_full(
+        sizes in prop::collection::vec(1usize..2000, 1..20),
+        gran_elems in 1usize..512,
+    ) {
+        let reg = registry_from(&sizes);
+        let ids: Vec<GradId> = (0..sizes.len() as u32).map(GradId).collect();
+        let (full, _) = pack_units(&reg, ids, (gran_elems * 4) as f64);
+        for u in &full {
+            let elems: usize = u.segments.iter().map(|s| s.elems).sum();
+            prop_assert_eq!(elems, gran_elems);
+        }
+    }
+
+    /// Completing all units in ANY order completes every gradient exactly
+    /// once.
+    #[test]
+    fn tracker_completion_is_order_independent(
+        sizes in prop::collection::vec(1usize..800, 1..15),
+        gran_elems in 1usize..256,
+        order_seed in 0u64..1000,
+    ) {
+        let reg = registry_from(&sizes);
+        let ids: Vec<GradId> = (0..sizes.len() as u32).map(GradId).collect();
+        let (mut units, partial) = pack_units(&reg, ids, (gran_elems * 4) as f64);
+        units.extend(partial);
+        // Deterministic pseudo-shuffle.
+        let n = units.len();
+        for i in 0..n {
+            let j = ((order_seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            units.swap(i, j);
+        }
+        let mut tracker = ReduceTracker::new(&reg);
+        let mut completed = Vec::new();
+        for u in &units {
+            completed.extend(tracker.complete_unit(u));
+        }
+        prop_assert!(tracker.all_done());
+        completed.sort();
+        completed.dedup();
+        prop_assert_eq!(completed.len(), sizes.len());
+    }
+
+    /// Packing a subset never touches gradients outside that subset.
+    #[test]
+    fn packing_respects_the_requested_subset(
+        sizes in prop::collection::vec(1usize..500, 2..20),
+        pick in prop::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let reg = registry_from(&sizes);
+        let chosen: Vec<GradId> = sizes
+            .iter()
+            .enumerate()
+            .zip(pick.iter().cycle())
+            .filter(|(_, &p)| p)
+            .map(|((i, _), _)| GradId(i as u32))
+            .collect();
+        let (full, partial) = pack_units(&reg, chosen.clone(), 1024.0);
+        let mut seen: Vec<u32> = full
+            .iter()
+            .chain(partial.iter())
+            .flat_map(|u| u.segments.iter().map(|s| s.grad.0))
+            .collect();
+        seen.sort();
+        seen.dedup();
+        let mut want: Vec<u32> = chosen.iter().map(|g| g.0).collect();
+        want.sort();
+        prop_assert_eq!(seen, want);
+    }
+
+    /// SyncVector intersection is exactly element-wise AND over arbitrary
+    /// bit patterns.
+    #[test]
+    fn syncvec_intersection_matches_reference(
+        patterns in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 1..300),
+            1..8,
+        ),
+    ) {
+        let len = patterns.iter().map(Vec::len).min().unwrap();
+        let mut vecs: Vec<SyncVector> = Vec::new();
+        for p in &patterns {
+            let mut v = SyncVector::new(len);
+            for (i, &b) in p.iter().take(len).enumerate() {
+                if b {
+                    v.set(GradId(i as u32));
+                }
+            }
+            vecs.push(v);
+        }
+        let inter = SyncVector::intersect_all(&vecs);
+        for i in 0..len {
+            let want = patterns.iter().all(|p| p[i]);
+            prop_assert_eq!(inter.get(GradId(i as u32)), want, "bit {}", i);
+        }
+    }
+}

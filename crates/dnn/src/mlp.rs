@@ -1,0 +1,434 @@
+//! A real multi-layer perceptron with manual backpropagation.
+//!
+//! The AIACC-Training reproduction uses this network wherever *numerical*
+//! correctness of the distributed machinery must be demonstrated: the
+//! data-plane collectives carry its real gradients, and tests assert that
+//! data-parallel training equals single-worker large-batch training.
+
+use crate::layer::{LayerKind, LayerSpec, ParamSpec};
+use crate::profile::{ModelProfile, SampleUnit};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Layer widths from input to output, e.g. `[16, 32, 4]` = one hidden
+    /// layer of 32 units and 4 output classes.
+    pub layer_sizes: Vec<usize>,
+    /// Seed for weight initialization (identical seeds give identical nets).
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if fewer than two layer sizes are given or any size is zero.
+    pub fn new(layer_sizes: Vec<usize>, seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "zero-width layer");
+        MlpConfig { layer_sizes, seed }
+    }
+}
+
+/// A dense network with ReLU hidden activations and a softmax cross-entropy
+/// head, trained on integer class labels.
+///
+/// Weight `l` is stored row-major as `[out × in]`; parameter tensors are laid
+/// out (and registered for communication) as `w0, b0, w1, b1, …`.
+///
+/// # Example
+/// ```
+/// use aiacc_dnn::{Mlp, MlpConfig};
+/// let mlp = Mlp::new(&MlpConfig::new(vec![4, 8, 3], 42));
+/// let x = vec![0.1; 8]; // batch of 2 samples, dim 4
+/// let logits = mlp.forward(&x, 2);
+/// assert_eq!(logits.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    weights: Vec<Vec<f32>>,
+    biases: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds a network with Xavier-uniform initial weights.
+    pub fn new(config: &MlpConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in config.layer_sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+            weights.push(
+                (0..fan_in * fan_out).map(|_| rng.random_range(-bound..bound)).collect(),
+            );
+            biases.push(vec![0.0; fan_out]);
+        }
+        Mlp { sizes: config.layer_sizes.clone(), weights, biases }
+    }
+
+    /// Number of dense layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        *self.sizes.last().expect("nonempty")
+    }
+
+    /// Total trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(Vec::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// `(name, len)` for each parameter tensor in registration order
+    /// `w0, b0, w1, b1, …`.
+    pub fn param_layout(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for l in 0..self.num_layers() {
+            out.push((format!("fc{l}.weight"), self.weights[l].len()));
+            out.push((format!("fc{l}.bias"), self.biases[l].len()));
+        }
+        out
+    }
+
+    /// All parameters flattened in registration order.
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.num_params());
+        for l in 0..self.num_layers() {
+            v.extend_from_slice(&self.weights[l]);
+            v.extend_from_slice(&self.biases[l]);
+        }
+        v
+    }
+
+    /// Overwrites all parameters from a flat slice in registration order.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != self.num_params()`.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "parameter length mismatch");
+        let mut off = 0;
+        for l in 0..self.weights.len() {
+            let wl = self.weights[l].len();
+            self.weights[l].copy_from_slice(&flat[off..off + wl]);
+            off += wl;
+            let bl = self.biases[l].len();
+            self.biases[l].copy_from_slice(&flat[off..off + bl]);
+            off += bl;
+        }
+    }
+
+    /// Forward pass over a row-major batch (`batch × input_dim`), returning
+    /// logits (`batch × num_classes`).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != batch * input_dim`.
+    pub fn forward(&self, x: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(x.len(), batch * self.input_dim(), "bad input shape");
+        let (acts, _) = self.forward_full(x, batch);
+        acts.last().expect("at least one layer").clone()
+    }
+
+    /// Forward keeping all activations (`acts[0]` = input) and pre-activations.
+    fn forward_full(&self, x: &[f32], batch: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let mut acts: Vec<Vec<f32>> = vec![x.to_vec()];
+        let mut pre: Vec<Vec<f32>> = Vec::new();
+        for l in 0..self.num_layers() {
+            let (din, dout) = (self.sizes[l], self.sizes[l + 1]);
+            let a_in = &acts[l];
+            let mut z = vec![0.0f32; batch * dout];
+            for s in 0..batch {
+                let xrow = &a_in[s * din..(s + 1) * din];
+                let zrow = &mut z[s * dout..(s + 1) * dout];
+                for (o, zo) in zrow.iter_mut().enumerate() {
+                    let wrow = &self.weights[l][o * din..(o + 1) * din];
+                    let mut acc = self.biases[l][o];
+                    for (w, xv) in wrow.iter().zip(xrow) {
+                        acc += w * xv;
+                    }
+                    *zo = acc;
+                }
+            }
+            pre.push(z.clone());
+            if l + 1 < self.num_layers() {
+                for v in z.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            acts.push(z);
+        }
+        (acts, pre)
+    }
+
+    /// Mean cross-entropy loss and gradients for a labelled batch.
+    ///
+    /// Gradients come back as one `Vec<f32>` per parameter tensor in
+    /// registration order (`w0, b0, w1, b1, …`), averaged over the batch —
+    /// ready to feed through the collectives' data plane.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a label out of range.
+    pub fn loss_and_grads(&self, x: &[f32], labels: &[usize]) -> (f64, Vec<Vec<f32>>) {
+        let batch = labels.len();
+        assert_eq!(x.len(), batch * self.input_dim(), "bad input shape");
+        assert!(batch > 0, "empty batch");
+        let nc = self.num_classes();
+        let (acts, pre) = self.forward_full(x, batch);
+        let logits = acts.last().expect("layers");
+
+        // Softmax + cross entropy.
+        let mut delta = vec![0.0f32; batch * nc]; // dL/dlogits
+        let mut loss = 0.0f64;
+        for s in 0..batch {
+            let row = &logits[s * nc..(s + 1) * nc];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let label = labels[s];
+            assert!(label < nc, "label {label} out of range");
+            loss -= ((exps[label] / sum).max(1e-30) as f64).ln();
+            for c in 0..nc {
+                let p = exps[c] / sum;
+                delta[s * nc + c] = p - if c == label { 1.0 } else { 0.0 };
+            }
+        }
+        loss /= batch as f64;
+
+        let scale = 1.0 / batch as f32;
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(2 * self.num_layers());
+        for l in 0..self.num_layers() {
+            grads.push(vec![0.0; self.weights[l].len()]);
+            grads.push(vec![0.0; self.biases[l].len()]);
+        }
+
+        // Backward through layers.
+        let mut dz = delta;
+        for l in (0..self.num_layers()).rev() {
+            let (din, dout) = (self.sizes[l], self.sizes[l + 1]);
+            let a_in = &acts[l];
+            // Parameter gradients.
+            for s in 0..batch {
+                let dzrow = &dz[s * dout..(s + 1) * dout];
+                let xrow = &a_in[s * din..(s + 1) * din];
+                let gw = &mut grads[2 * l];
+                for (o, &d) in dzrow.iter().enumerate() {
+                    let grow = &mut gw[o * din..(o + 1) * din];
+                    for (g, xv) in grow.iter_mut().zip(xrow) {
+                        *g += d * xv * scale;
+                    }
+                }
+                let gb = &mut grads[2 * l + 1];
+                for (g, &d) in gb.iter_mut().zip(dzrow) {
+                    *g += d * scale;
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            // Propagate to previous layer: da = W^T dz; dz_prev = da ⊙ relu'.
+            let mut dprev = vec![0.0f32; batch * din];
+            for s in 0..batch {
+                let dzrow = &dz[s * dout..(s + 1) * dout];
+                let dprow = &mut dprev[s * din..(s + 1) * din];
+                for (o, &d) in dzrow.iter().enumerate() {
+                    let wrow = &self.weights[l][o * din..(o + 1) * din];
+                    for (dp, w) in dprow.iter_mut().zip(wrow) {
+                        *dp += d * w;
+                    }
+                }
+                let zrow = &pre[l - 1][s * din..(s + 1) * din];
+                for (dp, &z) in dprow.iter_mut().zip(zrow) {
+                    if z <= 0.0 {
+                        *dp = 0.0;
+                    }
+                }
+            }
+            dz = dprev;
+        }
+        (loss, grads)
+    }
+
+    /// Applies a flat gradient with plain SGD: `p -= lr * g` (convenience for
+    /// examples; the real optimizers live in `aiacc-optim`).
+    ///
+    /// # Panics
+    /// Panics if `flat_grads.len() != self.num_params()`.
+    pub fn apply_sgd(&mut self, flat_grads: &[f32], lr: f32) {
+        assert_eq!(flat_grads.len(), self.num_params());
+        let mut p = self.params_flat();
+        for (pv, g) in p.iter_mut().zip(flat_grads) {
+            *pv -= lr * g;
+        }
+        self.set_params_flat(&p);
+    }
+
+    /// Fraction of samples classified correctly.
+    pub fn accuracy(&self, x: &[f32], labels: &[usize]) -> f64 {
+        let batch = labels.len();
+        let nc = self.num_classes();
+        let logits = self.forward(x, batch);
+        let mut correct = 0;
+        for (s, &label) in labels.iter().enumerate() {
+            let row = &logits[s * nc..(s + 1) * nc];
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("nonempty row");
+            if argmax == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / batch as f64
+    }
+
+    /// A [`ModelProfile`] describing this network, so the real MLP can drive
+    /// the same registration/communication machinery as the zoo models.
+    pub fn profile(&self) -> ModelProfile {
+        let mut layers = Vec::new();
+        for l in 0..self.num_layers() {
+            let (din, dout) = (self.sizes[l], self.sizes[l + 1]);
+            layers.push(LayerSpec::new(
+                format!("fc{l}"),
+                LayerKind::Dense,
+                vec![
+                    ParamSpec::new("weight", vec![dout, din]),
+                    ParamSpec::new("bias", vec![dout]),
+                ],
+                2.0 * (din * dout) as f64,
+            ));
+        }
+        ModelProfile::new("mlp", layers, SampleUnit::Records, 0.4, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Mlp {
+        Mlp::new(&MlpConfig::new(vec![3, 5, 2], 7))
+    }
+
+    #[test]
+    fn deterministic_init() {
+        assert_eq!(tiny().params_flat(), tiny().params_flat());
+        let other = Mlp::new(&MlpConfig::new(vec![3, 5, 2], 8));
+        assert_ne!(tiny().params_flat(), other.params_flat());
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut m = tiny();
+        let mut p = m.params_flat();
+        p[0] = 123.0;
+        m.set_params_flat(&p);
+        assert_eq!(m.params_flat(), p);
+    }
+
+    #[test]
+    fn layout_sums_to_num_params() {
+        let m = tiny();
+        let total: usize = m.param_layout().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, m.num_params());
+        assert_eq!(m.num_params(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let m = tiny();
+        let out = m.forward(&[0.5; 6], 2);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn loss_decreases_under_sgd() {
+        let mut m = Mlp::new(&MlpConfig::new(vec![2, 16, 2], 3));
+        // XOR-ish separable data.
+        let x = vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let y = vec![0, 0, 1, 1];
+        let (l0, _) = m.loss_and_grads(&x, &y);
+        for _ in 0..300 {
+            let (_, grads) = m.loss_and_grads(&x, &y);
+            let flat: Vec<f32> = grads.into_iter().flatten().collect();
+            m.apply_sgd(&flat, 0.5);
+        }
+        let (l1, _) = m.loss_and_grads(&x, &y);
+        assert!(l1 < l0 * 0.2, "loss {l0} -> {l1}");
+        assert_eq!(m.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let m = Mlp::new(&MlpConfig::new(vec![2, 4, 3], 11));
+        let x = vec![0.3, -0.7, 0.9, 0.1];
+        let y = vec![2, 0];
+        let (_, grads) = m.loss_and_grads(&x, &y);
+        let flat_g: Vec<f32> = grads.into_iter().flatten().collect();
+        let p0 = m.params_flat();
+        let eps = 1e-3f32;
+        // Spot-check a spread of parameters.
+        for idx in (0..m.num_params()).step_by(5) {
+            let mut mp = m.clone();
+            let mut p = p0.clone();
+            p[idx] += eps;
+            mp.set_params_flat(&p);
+            let (lp, _) = mp.loss_and_grads(&x, &y);
+            p[idx] -= 2.0 * eps;
+            mp.set_params_flat(&p);
+            let (lm, _) = mp.loss_and_grads(&x, &y);
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - flat_g[idx]).abs() < 2e-2,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                flat_g[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_of_sum_equals_sum_of_grads() {
+        // Cross-entropy averaged over a batch is the mean of per-sample
+        // losses, so batch gradients must equal the average of per-sample
+        // gradients — the invariant data parallelism relies on.
+        let m = tiny();
+        let x = vec![0.2, 0.4, -0.1, 0.9, -0.5, 0.3];
+        let y = vec![1, 0];
+        let (_, g_batch) = m.loss_and_grads(&x, &y);
+        let (_, g0) = m.loss_and_grads(&x[0..3], &y[0..1]);
+        let (_, g1) = m.loss_and_grads(&x[3..6], &y[1..2]);
+        for ((b, a0), a1) in g_batch.iter().zip(&g0).zip(&g1) {
+            for ((bv, v0), v1) in b.iter().zip(a0).zip(a1) {
+                assert!((bv - 0.5 * (v0 + v1)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_matches_network() {
+        let m = tiny();
+        let p = m.profile();
+        assert_eq!(p.num_params(), m.num_params());
+        assert_eq!(p.num_gradients(), m.param_layout().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let m = tiny();
+        let _ = m.loss_and_grads(&[0.0; 3], &[9]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Gradient payload tensors: dense (real data) or synthetic (size only).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type used on the wire for gradient communication.
+///
+/// AIACC-Training supports half-precision gradient compression; the wire dtype
+/// affects transfer size but not the logical element count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (4 bytes/element).
+    #[default]
+    F32,
+    /// 16-bit IEEE half float (2 bytes/element).
+    F16,
+}
+
+impl DType {
+    /// Bytes occupied by one element.
+    pub const fn bytes_per_elem(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+            DType::F16 => write!(f, "f16"),
+        }
+    }
+}
+
+/// A gradient tensor, flattened to one dimension.
+///
+/// `Dense` tensors carry real values and support arithmetic — used by the
+/// data-plane collectives and the real MLP trainer. `Synthetic` tensors carry
+/// only a logical length — used by timing simulations of models with hundreds
+/// of millions of parameters, where the byte count matters but the values do
+/// not.
+///
+/// Arithmetic between a dense and a synthetic tensor is a logic error and
+/// panics: a simulation must consistently pick one plane.
+///
+/// # Example
+/// ```
+/// use aiacc_dnn::Tensor;
+/// let mut a = Tensor::from_vec(vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(vec![10.0, 20.0]);
+/// a.add_assign(&b);
+/// assert_eq!(a.as_slice().unwrap(), &[11.0, 22.0]);
+/// assert_eq!(Tensor::synthetic(1024).len(), 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Tensor {
+    /// Real values.
+    Dense(Vec<f32>),
+    /// Size-only placeholder carrying a logical element count.
+    Synthetic(usize),
+}
+
+impl Tensor {
+    /// A dense tensor of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Tensor::Dense(vec![0.0; len])
+    }
+
+    /// Wraps an owned vector of values.
+    pub fn from_vec(values: Vec<f32>) -> Self {
+        Tensor::Dense(values)
+    }
+
+    /// A synthetic tensor with `len` logical elements.
+    pub fn synthetic(len: usize) -> Self {
+        Tensor::Synthetic(len)
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Tensor::Dense(v) => v.len(),
+            Tensor::Synthetic(n) => *n,
+        }
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for size-only tensors.
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self, Tensor::Synthetic(_))
+    }
+
+    /// Bytes this tensor occupies on the wire at the given dtype.
+    pub fn wire_bytes(&self, dtype: DType) -> f64 {
+        (self.len() * dtype.bytes_per_elem()) as f64
+    }
+
+    /// Borrow the dense values, or `None` for synthetic tensors.
+    pub fn as_slice(&self) -> Option<&[f32]> {
+        match self {
+            Tensor::Dense(v) => Some(v),
+            Tensor::Synthetic(_) => None,
+        }
+    }
+
+    /// Mutably borrow the dense values, or `None` for synthetic tensors.
+    pub fn as_mut_slice(&mut self) -> Option<&mut [f32]> {
+        match self {
+            Tensor::Dense(v) => Some(v),
+            Tensor::Synthetic(_) => None,
+        }
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or when mixing dense and synthetic tensors.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.len(), other.len(), "tensor length mismatch");
+        match (self, other) {
+            (Tensor::Dense(a), Tensor::Dense(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += *y;
+                }
+            }
+            (Tensor::Synthetic(_), Tensor::Synthetic(_)) => {}
+            _ => panic!("cannot mix dense and synthetic tensors"),
+        }
+    }
+
+    /// Element-wise `self *= factor` (no-op on synthetic tensors).
+    pub fn scale(&mut self, factor: f32) {
+        if let Tensor::Dense(v) = self {
+            for x in v.iter_mut() {
+                *x *= factor;
+            }
+        }
+    }
+
+    /// Splits the tensor into chunks of at most `chunk_len` elements,
+    /// preserving the dense/synthetic plane.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len` is zero.
+    pub fn split_chunks(&self, chunk_len: usize) -> Vec<Tensor> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        match self {
+            Tensor::Dense(v) => v.chunks(chunk_len).map(|c| Tensor::Dense(c.to_vec())).collect(),
+            Tensor::Synthetic(n) => {
+                let mut out = Vec::new();
+                let mut left = *n;
+                while left > 0 {
+                    let take = left.min(chunk_len);
+                    out.push(Tensor::Synthetic(take));
+                    left -= take;
+                }
+                if out.is_empty() {
+                    out.push(Tensor::Synthetic(0));
+                }
+                out
+            }
+        }
+    }
+
+    /// Concatenates tensors; all inputs must live on the same plane.
+    ///
+    /// # Panics
+    /// Panics when mixing dense and synthetic tensors.
+    pub fn concat(parts: &[Tensor]) -> Tensor {
+        if parts.iter().any(Tensor::is_synthetic) {
+            assert!(
+                parts.iter().all(Tensor::is_synthetic),
+                "cannot mix dense and synthetic tensors"
+            );
+            Tensor::Synthetic(parts.iter().map(Tensor::len).sum())
+        } else {
+            let mut v = Vec::with_capacity(parts.iter().map(Tensor::len).sum());
+            for p in parts {
+                v.extend_from_slice(p.as_slice().expect("dense"));
+            }
+            Tensor::Dense(v)
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::Dense(Vec::new())
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Tensor::Dense(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.bytes_per_elem(), 4);
+        assert_eq!(DType::F16.bytes_per_elem(), 2);
+    }
+
+    #[test]
+    fn wire_bytes_depends_on_dtype() {
+        let t = Tensor::synthetic(100);
+        assert_eq!(t.wire_bytes(DType::F32), 400.0);
+        assert_eq!(t.wire_bytes(DType::F16), 200.0);
+    }
+
+    #[test]
+    fn add_assign_dense() {
+        let mut a = Tensor::from_vec(vec![1.0, -1.0]);
+        a.add_assign(&Tensor::from_vec(vec![2.0, 2.0]));
+        assert_eq!(a.as_slice().unwrap(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn add_assign_synthetic_is_noop() {
+        let mut a = Tensor::synthetic(5);
+        a.add_assign(&Tensor::synthetic(5));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mix")]
+    fn add_assign_mixed_panics() {
+        let mut a = Tensor::synthetic(2);
+        a.add_assign(&Tensor::zeros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_assign_length_mismatch_panics() {
+        let mut a = Tensor::zeros(2);
+        a.add_assign(&Tensor::zeros(3));
+    }
+
+    #[test]
+    fn scale_dense() {
+        let mut a = Tensor::from_vec(vec![2.0, 4.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice().unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip_dense() {
+        let t = Tensor::from_vec((0..10).map(|i| i as f32).collect());
+        let parts = t.split_chunks(3);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[3].len(), 1);
+        assert_eq!(Tensor::concat(&parts), t);
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip_synthetic() {
+        let t = Tensor::synthetic(10);
+        let parts = t.split_chunks(4);
+        assert_eq!(parts.iter().map(Tensor::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(Tensor::concat(&parts), t);
+    }
+
+    #[test]
+    fn empty_synthetic_split_keeps_one_part() {
+        let parts = Tensor::synthetic(0).split_chunks(4);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Tensor = (0..3).map(|i| i as f32).collect();
+        assert_eq!(t.as_slice().unwrap(), &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,563 @@
+//! Fluid-flow network: resources with capacities and flows that share them
+//! under progressive-filling max-min fairness with per-flow rate caps.
+
+use crate::flow::{Flow, FlowId, FlowSpec};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a [`Resource`] (a link port, NIC direction, bus, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// The raw index value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res#{}", self.0)
+    }
+}
+
+/// A capacity-limited network resource (e.g. one direction of a NIC).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Human-readable name used in diagnostics.
+    pub name: String,
+    /// Capacity in bytes/second. Always strictly positive.
+    pub capacity: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    spec: FlowSpec,
+    remaining: f64,
+    rate: f64,
+    activates_at: SimTime,
+    active: bool,
+}
+
+/// Minimum leftover bytes treated as "transfer complete" (guards float drift).
+const EPS_BYTES: f64 = 1e-3;
+
+/// The fluid network model.
+///
+/// Flows are started with [`FlowNet::start_flow`]; the driver alternates
+/// [`FlowNet::next_change`] / [`FlowNet::advance_to`] /
+/// [`FlowNet::take_completed`]. [`crate::Simulator`] wraps this loop together
+/// with user timers; most code should use that instead of driving `FlowNet`
+/// directly.
+///
+/// # Rate allocation
+///
+/// Rates are recomputed lazily whenever the set of active flows changes, using
+/// progressive filling: all unfrozen flows grow at the same rate until either
+/// a resource saturates (its flows freeze) or a flow hits its own
+/// [`FlowSpec::rate_cap`] (it freezes). This yields the classical max-min fair
+/// allocation extended with per-flow caps.
+///
+/// # Example
+/// ```
+/// use aiacc_simnet::{FlowNet, FlowSpec, SimTime};
+/// let mut net = FlowNet::new();
+/// let r = net.add_resource("nic", 100.0);
+/// // One flow capped at 30 B/s on a 100 B/s link: 30 % utilization.
+/// net.start_flow(FlowSpec::new(vec![r], 300.0).with_rate_cap(30.0));
+/// let t = net.next_change().unwrap();
+/// assert!((t.as_secs_f64() - 10.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowNet {
+    resources: Vec<Resource>,
+    flows: BTreeMap<u64, FlowState>,
+    now: SimTime,
+    next_id: u64,
+    rates_valid: bool,
+    /// Cumulative bytes carried per resource (telemetry).
+    carried: Vec<f64>,
+}
+
+impl FlowNet {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Self {
+        FlowNet::default()
+    }
+
+    /// Adds a resource with the given capacity in bytes/second.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        assert!(capacity.is_finite() && capacity > 0.0, "invalid capacity: {capacity}");
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(Resource { name: name.into(), capacity });
+        self.carried.push(0.0);
+        id
+    }
+
+    /// Cumulative bytes this resource has carried since simulation start —
+    /// the counter behind utilization telemetry: average utilization over a
+    /// window is `Δcarried / (capacity · Δt)`.
+    pub fn carried_bytes(&self, id: ResourceId) -> f64 {
+        self.carried[id.as_u32() as usize]
+    }
+
+    /// Read-only view of a resource.
+    ///
+    /// # Panics
+    /// Panics if `id` was not returned by this network's
+    /// [`add_resource`](Self::add_resource).
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0 as usize]
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Starts a flow at the current time. Data begins moving after the spec's
+    /// latency.
+    ///
+    /// # Panics
+    /// Panics if the spec references a resource not in this network.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        for r in &spec.path {
+            assert!((r.0 as usize) < self.resources.len(), "unknown resource {r}");
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let activates_at = self.now + spec.latency;
+        let active = spec.latency.as_nanos() == 0;
+        let remaining = spec.bytes;
+        self.flows.insert(
+            id.0,
+            FlowState { spec, remaining, rate: 0.0, activates_at, active },
+        );
+        self.rates_valid = false;
+        id
+    }
+
+    /// Read-only view of a flow still present in the network.
+    pub fn flow(&self, id: FlowId) -> Option<Flow> {
+        self.flows.get(&id.0).map(|s| Flow {
+            spec: s.spec.clone(),
+            remaining: s.remaining,
+            rate: s.rate,
+            active: s.active,
+        })
+    }
+
+    /// Number of flows not yet completed (including latency-phase flows).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Aggregate allocated rate over a resource, in bytes/second.
+    ///
+    /// Useful for measuring utilization in tests and the bandwidth
+    /// micro-benchmark.
+    pub fn utilization(&mut self, id: ResourceId) -> f64 {
+        self.recompute_if_dirty();
+        let total: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.active && f.spec.path.contains(&id))
+            .map(|f| f.rate)
+            .sum();
+        total / self.resources[id.0 as usize].capacity
+    }
+
+    /// The next instant at which the network state changes: a flow activates
+    /// (latency elapsed) or a flow completes. `None` when no flows remain.
+    pub fn next_change(&mut self) -> Option<SimTime> {
+        self.recompute_if_dirty();
+        let mut best: Option<SimTime> = None;
+        for st in self.flows.values() {
+            let t = if !st.active {
+                st.activates_at
+            } else if st.remaining <= self.completion_eps(st.rate) {
+                self.now
+            } else if st.rate > 0.0 {
+                // Ceil to the next nanosecond so that advancing to `t`
+                // guarantees remaining <= eps despite rounding.
+                let dt_ns = (st.remaining / st.rate * 1e9).ceil() as u64;
+                SimTime::from_nanos(self.now.as_nanos().saturating_add(dt_ns.max(1)))
+            } else if st.rate.is_infinite() {
+                self.now
+            } else {
+                continue; // starved flow: no progress until the flow set changes
+            };
+            best = Some(match best {
+                Some(b) if b <= t => b,
+                _ => t,
+            });
+        }
+        best
+    }
+
+    /// Advances virtual time to `t`, moving bytes on all active flows and
+    /// activating flows whose latency has elapsed.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to({t}) before now ({})", self.now);
+        self.recompute_if_dirty();
+        let dt = (t - self.now).as_secs_f64();
+        if dt > 0.0 {
+            for st in self.flows.values_mut() {
+                if st.active {
+                    if st.rate.is_infinite() {
+                        st.remaining = 0.0;
+                    } else {
+                        let moved = (st.rate * dt).min(st.remaining);
+                        st.remaining -= moved;
+                        for r in &st.spec.path {
+                            self.carried[r.as_u32() as usize] += moved;
+                        }
+                    }
+                }
+            }
+        }
+        let mut activated = false;
+        for st in self.flows.values_mut() {
+            if !st.active && st.activates_at <= t {
+                st.active = true;
+                activated = true;
+            }
+        }
+        if activated {
+            self.rates_valid = false;
+        }
+        self.now = t;
+    }
+
+    /// Removes and returns all flows that have finished transferring, in flow
+    /// id order. Call after [`advance_to`](Self::advance_to).
+    pub fn take_completed(&mut self) -> Vec<FlowId> {
+        // Borrow-friendly: collect ids first.
+        let done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, st)| {
+                st.active
+                    && (st.remaining <= self.completion_eps(st.rate) || st.rate.is_infinite())
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        if !done.is_empty() {
+            for id in &done {
+                self.flows.remove(id);
+            }
+            self.rates_valid = false;
+        }
+        done.into_iter().map(FlowId).collect()
+    }
+
+    /// Cancels a flow (e.g. elastic scale-down), returning `true` if it was
+    /// present.
+    pub fn cancel_flow(&mut self, id: FlowId) -> bool {
+        let removed = self.flows.remove(&id.0).is_some();
+        if removed {
+            self.rates_valid = false;
+        }
+        removed
+    }
+
+    fn completion_eps(&self, rate: f64) -> f64 {
+        // 2 ns worth of data at the current rate, at least EPS_BYTES: covers
+        // nanosecond rounding of completion times plus float drift.
+        if rate.is_finite() {
+            EPS_BYTES.max(rate * 2e-9)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn recompute_if_dirty(&mut self) {
+        if self.rates_valid {
+            return;
+        }
+        self.recompute_rates();
+        self.rates_valid = true;
+    }
+
+    /// Progressive-filling max-min fairness with per-flow caps.
+    fn recompute_rates(&mut self) {
+        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        // (flow key, frozen?)
+        let mut unfrozen: Vec<u64> = Vec::new();
+        for (&id, st) in self.flows.iter_mut() {
+            st.rate = 0.0;
+            if st.active && st.remaining > 0.0 {
+                unfrozen.push(id);
+            }
+        }
+        let mut guard = 0usize;
+        while !unfrozen.is_empty() {
+            guard += 1;
+            assert!(
+                guard <= self.resources.len() + self.flows.len() + 2,
+                "progressive filling failed to converge"
+            );
+            // Per-resource unfrozen flow counts.
+            let mut counts = vec![0u32; self.resources.len()];
+            for &id in &unfrozen {
+                for r in &self.flows[&id].spec.path {
+                    counts[r.0 as usize] += 1;
+                }
+            }
+            // Water level: smallest equal increment that saturates a resource.
+            let mut inc = f64::INFINITY;
+            for (i, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    inc = inc.min(residual[i].max(0.0) / c as f64);
+                }
+            }
+            // Or that drives a flow into its cap.
+            for &id in &unfrozen {
+                let st = &self.flows[&id];
+                if let Some(cap) = st.spec.rate_cap {
+                    inc = inc.min((cap - st.rate).max(0.0));
+                }
+            }
+            if inc.is_infinite() {
+                // No resource and no cap constrains these flows: infinitely
+                // fast (zero-cost transfers, e.g. loopback control messages).
+                for &id in &unfrozen {
+                    self.flows.get_mut(&id).unwrap().rate = f64::INFINITY;
+                }
+                break;
+            }
+            for &id in &unfrozen {
+                let st = self.flows.get_mut(&id).unwrap();
+                st.rate += inc;
+                for r in &st.spec.path {
+                    residual[r.0 as usize] -= inc;
+                }
+            }
+            // Freeze flows at their cap or on a saturated resource.
+            let mut still: Vec<u64> = Vec::with_capacity(unfrozen.len());
+            for &id in &unfrozen {
+                let st = &self.flows[&id];
+                let capped = st
+                    .spec
+                    .rate_cap
+                    .is_some_and(|cap| st.rate >= cap - cap * 1e-12 - 1e-15);
+                let saturated = st
+                    .spec
+                    .path
+                    .iter()
+                    .any(|r| residual[r.0 as usize] <= self.resources[r.0 as usize].capacity * 1e-12);
+                if !capped && !saturated {
+                    still.push(id);
+                }
+            }
+            assert!(
+                still.len() < unfrozen.len(),
+                "progressive filling made no progress"
+            );
+            unfrozen = still;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn drain(net: &mut FlowNet) -> Vec<(f64, FlowId)> {
+        let mut out = Vec::new();
+        while let Some(t) = net.next_change() {
+            net.advance_to(t);
+            for id in net.take_completed() {
+                out.push((t.as_secs_f64(), id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_uncapped_flow_uses_full_capacity() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 10.0);
+        net.start_flow(FlowSpec::new(vec![r], 100.0));
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0 - 10.0).abs() < 1e-6, "t={}", done[0].0);
+    }
+
+    #[test]
+    fn single_capped_flow_limited_to_cap() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 100.0);
+        net.start_flow(FlowSpec::new(vec![r], 30.0).with_rate_cap(30.0));
+        assert!((net.utilization(r) - 0.3).abs() < 1e-9);
+        let done = drain(&mut net);
+        assert!((done[0].0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiple_capped_flows_aggregate_bandwidth() {
+        // Paper §III/§V: N concurrent streams multiplex the link.
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 100.0);
+        for _ in 0..3 {
+            net.start_flow(FlowSpec::new(vec![r], 30.0).with_rate_cap(30.0));
+        }
+        assert!((net.utilization(r) - 0.9).abs() < 1e-9);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 3);
+        for (t, _) in done {
+            assert!((t - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn caps_cannot_oversubscribe_capacity() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 100.0);
+        for _ in 0..5 {
+            net.start_flow(FlowSpec::new(vec![r], 100.0).with_rate_cap(30.0));
+        }
+        // 5 * 30 > 100 => fair share 20 each.
+        assert!((net.utilization(r) - 1.0).abs() < 1e-9);
+        let done = drain(&mut net);
+        for (t, _) in done {
+            assert!((t - 5.0).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn fair_sharing_two_flows_then_speedup() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 10.0);
+        net.start_flow(FlowSpec::new(vec![r], 30.0));
+        net.start_flow(FlowSpec::new(vec![r], 50.0));
+        let done = drain(&mut net);
+        assert!((done[0].0 - 6.0).abs() < 1e-6);
+        assert!((done[1].0 - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_with_heterogeneous_paths() {
+        // f1 uses A only; f2 uses A and B; B is the tighter link.
+        let mut net = FlowNet::new();
+        let a = net.add_resource("A", 10.0);
+        let b = net.add_resource("B", 4.0);
+        let f1 = net.start_flow(FlowSpec::new(vec![a], 1000.0));
+        let f2 = net.start_flow(FlowSpec::new(vec![a, b], 1000.0));
+        net.next_change();
+        // f2 limited by B to 4; f1 gets the rest of A: 6.
+        assert!((net.flow(f2).unwrap().rate - 4.0).abs() < 1e-9);
+        assert!((net.flow(f1).unwrap().rate - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_delays_start() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 10.0);
+        net.start_flow(
+            FlowSpec::new(vec![r], 10.0).with_latency(SimDuration::from_secs_f64(2.0)),
+        );
+        let done = drain(&mut net);
+        assert!((done[0].0 - 3.0).abs() < 1e-6, "t={}", done[0].0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_latency() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 10.0);
+        net.start_flow(FlowSpec::new(vec![r], 0.0).with_latency(SimDuration::from_millis(1)));
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0 - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathless_flow_completes_immediately() {
+        let mut net = FlowNet::new();
+        net.start_flow(FlowSpec::new(vec![], 1e9));
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 0.0);
+    }
+
+    #[test]
+    fn cancel_flow_releases_bandwidth() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 10.0);
+        let f1 = net.start_flow(FlowSpec::new(vec![r], 100.0));
+        let f2 = net.start_flow(FlowSpec::new(vec![r], 100.0));
+        net.next_change();
+        assert!((net.flow(f1).unwrap().rate - 5.0).abs() < 1e-9);
+        assert!(net.cancel_flow(f2));
+        net.next_change();
+        assert!((net.flow(f1).unwrap().rate - 10.0).abs() < 1e-9);
+        assert!(!net.cancel_flow(f2));
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_later_flows() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 10.0);
+        net.start_flow(FlowSpec::new(vec![r], 100.0));
+        net.start_flow(FlowSpec::new(vec![r], 10.0));
+        // Short flow done at t=2 (5 B/s each); long one then accelerates.
+        let done = drain(&mut net);
+        assert!((done[0].0 - 2.0).abs() < 1e-6);
+        // Long flow: 90 left at t=2, 10 B/s => t=11.
+        assert!((done[1].0 - 11.0).abs() < 1e-6, "t={}", done[1].0);
+    }
+
+    #[test]
+    fn utilization_reports_fraction() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 100.0);
+        net.start_flow(FlowSpec::new(vec![r], 1e6).with_rate_cap(25.0));
+        net.start_flow(FlowSpec::new(vec![r], 1e6).with_rate_cap(25.0));
+        assert!((net.utilization(r) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn foreign_resource_rejected() {
+        let mut a = FlowNet::new();
+        let mut b = FlowNet::new();
+        let _ = a.add_resource("x", 1.0);
+        let ra2 = a.add_resource("y", 1.0);
+        let _ = b.add_resource("z", 1.0);
+        b.start_flow(FlowSpec::new(vec![ra2], 1.0)); // index 1 unknown to b
+    }
+
+    #[test]
+    fn many_symmetric_flows_complete_together() {
+        let mut net = FlowNet::new();
+        let mut path_res = Vec::new();
+        for i in 0..16 {
+            path_res.push(net.add_resource(format!("nic{i}"), 1e9));
+        }
+        for i in 0..16 {
+            let p = vec![path_res[i], path_res[(i + 1) % 16]];
+            net.start_flow(FlowSpec::new(p, 1e8).with_rate_cap(3e8));
+        }
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 16);
+        let t0 = done[0].0;
+        for (t, _) in done {
+            assert!((t - t0).abs() < 1e-6);
+        }
+    }
+}

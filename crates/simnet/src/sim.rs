@@ -1,0 +1,248 @@
+//! Combined event loop: user timers interleaved with flow completions.
+
+use crate::flow::{FlowId, FlowSpec};
+use crate::flownet::FlowNet;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An opaque, `Copy` event payload for simulator timers.
+///
+/// Higher layers encode their own meaning into the three fields. Keeping the
+/// payload flat (instead of making [`Simulator`] generic) lets independent
+/// crates (collectives, AIACC engine, baselines) share one simulator without
+/// threading a common event enum through every signature.
+///
+/// # Example
+/// ```
+/// use aiacc_simnet::Token;
+/// const KIND_GRAD_READY: u32 = 1;
+/// let t = Token { kind: KIND_GRAD_READY, a: 3, b: 17 };
+/// assert_eq!(t.a, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Token {
+    /// Event family (defined by the scheduling layer).
+    pub kind: u32,
+    /// First argument (e.g. a worker rank).
+    pub a: u32,
+    /// Second argument (e.g. a gradient or operation id).
+    pub b: u64,
+}
+
+impl Token {
+    /// Convenience constructor.
+    pub const fn new(kind: u32, a: u32, b: u64) -> Self {
+        Token { kind, a, b }
+    }
+}
+
+/// An event yielded by [`Simulator::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A timer scheduled with [`Simulator::schedule`] has fired.
+    Timer(Token),
+    /// A network flow finished transferring all its bytes.
+    FlowCompleted(FlowId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    token: Token,
+}
+
+/// Discrete-event simulator combining a timer heap with a [`FlowNet`].
+///
+/// Events are delivered in time order; ties are broken deterministically
+/// (timers before flow completions at the same instant, timers in scheduling
+/// order, flows in id order).
+///
+/// # Example
+/// ```
+/// use aiacc_simnet::{Event, SimDuration, Simulator, Token};
+/// let mut sim = Simulator::new();
+/// sim.schedule(SimDuration::from_micros(5), Token::new(7, 0, 0));
+/// let (t, ev) = sim.next_event().unwrap();
+/// assert_eq!(t.as_nanos(), 5_000);
+/// assert_eq!(ev, Event::Timer(Token::new(7, 0, 0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    net: FlowNet,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    seq: u64,
+    /// Flow completions discovered together but not yet handed out.
+    pending_flows: Vec<FlowId>,
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The underlying network (e.g. to add resources or inspect utilization).
+    pub fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut FlowNet {
+        &mut self.net
+    }
+
+    /// Schedules `token` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, token: Token) {
+        self.schedule_at(self.now() + delay, token);
+    }
+
+    /// Schedules `token` at an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, token: Token) {
+        assert!(at >= self.now(), "scheduling in the past: {at} < {}", self.now());
+        self.seq += 1;
+        self.timers.push(Reverse(TimerEntry { at, seq: self.seq, token }));
+    }
+
+    /// Starts a network flow at the current time.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.net.start_flow(spec)
+    }
+
+    /// Returns the next event and advances virtual time to it, or `None` when
+    /// neither timers nor flows remain.
+    pub fn next_event(&mut self) -> Option<(SimTime, Event)> {
+        if let Some(id) = self.pending_flows.pop() {
+            return Some((self.now(), Event::FlowCompleted(id)));
+        }
+        let t_timer = self.timers.peek().map(|e| e.0.at);
+        let t_flow = self.net.next_change();
+        match (t_timer, t_flow) {
+            (None, None) => None,
+            (Some(tt), tf) if tf.is_none_or(|tf| tt <= tf) => {
+                let entry = self.timers.pop().expect("peeked").0;
+                self.net.advance_to(entry.at);
+                Some((entry.at, Event::Timer(entry.token)))
+            }
+            (_, Some(tf)) => {
+                self.net.advance_to(tf);
+                let mut done = self.net.take_completed();
+                if done.is_empty() {
+                    // The change was a flow activation, not a completion;
+                    // recurse to find the next real event.
+                    return self.next_event();
+                }
+                // Deliver in id order: pop() takes from the back.
+                done.reverse();
+                self.pending_flows = done;
+                let id = self.pending_flows.pop().expect("nonempty");
+                Some((self.now(), Event::FlowCompleted(id)))
+            }
+            // (Some, None) with a failed guard cannot happen: the guard always
+            // passes when there is no flow event.
+            (Some(_), None) => unreachable!(),
+        }
+    }
+
+    /// Runs the simulator until quiescent, invoking `handler` for every event.
+    ///
+    /// The handler receives the simulator itself so it can schedule follow-up
+    /// timers and flows.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Simulator, SimTime, Event)) {
+        while let Some((t, ev)) = self.next_event() {
+            handler(self, t, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_in_order_with_fifo_ties() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimDuration::from_nanos(10), Token::new(1, 0, 0));
+        sim.schedule(SimDuration::from_nanos(5), Token::new(2, 0, 0));
+        sim.schedule(SimDuration::from_nanos(10), Token::new(3, 0, 0));
+        let kinds: Vec<u32> = std::iter::from_fn(|| sim.next_event())
+            .map(|(_, ev)| match ev {
+                Event::Timer(t) => t.kind,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn flows_and_timers_interleave() {
+        let mut sim = Simulator::new();
+        let r = sim.net_mut().add_resource("l", 10.0);
+        sim.start_flow(FlowSpec::new(vec![r], 20.0)); // completes at t=2s
+        sim.schedule(SimDuration::from_secs_f64(1.0), Token::new(9, 0, 0));
+        let (t1, e1) = sim.next_event().unwrap();
+        assert_eq!(e1, Event::Timer(Token::new(9, 0, 0)));
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        let (t2, e2) = sim.next_event().unwrap();
+        assert!(matches!(e2, Event::FlowCompleted(_)));
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn simultaneous_flow_completions_delivered_in_id_order() {
+        let mut sim = Simulator::new();
+        let r = sim.net_mut().add_resource("l", 10.0);
+        let a = sim.start_flow(FlowSpec::new(vec![r], 20.0));
+        let b = sim.start_flow(FlowSpec::new(vec![r], 20.0));
+        let mut ids = Vec::new();
+        while let Some((_, ev)) = sim.next_event() {
+            if let Event::FlowCompleted(id) = ev {
+                ids.push(id);
+            }
+        }
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn handler_can_chain_work() {
+        let mut sim = Simulator::new();
+        let r = sim.net_mut().add_resource("l", 100.0);
+        sim.schedule(SimDuration::from_nanos(1), Token::new(1, 0, 0));
+        let mut completions = 0;
+        sim.run(|s, _, ev| match ev {
+            Event::Timer(tok) if tok.kind == 1 => {
+                s.start_flow(FlowSpec::new(vec![r], 50.0));
+            }
+            Event::FlowCompleted(_) => completions += 1,
+            _ => {}
+        });
+        assert_eq!(completions, 1);
+    }
+
+    #[test]
+    fn schedule_at_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimDuration::from_nanos(100), Token::default());
+        let _ = sim.next_event();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.schedule_at(SimTime::from_nanos(5), Token::default());
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_sim_yields_none() {
+        assert!(Simulator::new().next_event().is_none());
+    }
+}

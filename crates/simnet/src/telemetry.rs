@@ -1,0 +1,123 @@
+//! Utilization telemetry over fluid-network resources.
+//!
+//! The bandwidth-utilization analysis of AIACC-Training §III ("a single
+//! communication stream can only utilize at most 30 % of the bandwidth")
+//! is a *time-averaged* measurement; this module provides the probe that
+//! takes it: average utilization of a resource between two sample points,
+//! derived from the cumulative bytes-carried counter.
+
+use crate::flownet::{FlowNet, ResourceId};
+use crate::time::SimTime;
+
+/// Windowed average-utilization probe for one resource.
+///
+/// # Example
+/// ```
+/// use aiacc_simnet::{FlowNet, FlowSpec, SimTime, UtilizationProbe};
+/// let mut net = FlowNet::new();
+/// let r = net.add_resource("nic", 100.0);
+/// let mut probe = UtilizationProbe::new(&net, r);
+/// net.start_flow(FlowSpec::new(vec![r], 1000.0).with_rate_cap(30.0));
+/// net.next_change(); // compute rates
+/// net.advance_to(SimTime::from_secs_f64(2.0));
+/// let u = probe.sample(&net);
+/// assert!((u - 0.30).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationProbe {
+    resource: ResourceId,
+    capacity: f64,
+    last_carried: f64,
+    last_time: SimTime,
+}
+
+impl UtilizationProbe {
+    /// Starts a probe at the network's current time.
+    pub fn new(net: &FlowNet, resource: ResourceId) -> Self {
+        UtilizationProbe {
+            resource,
+            capacity: net.resource(resource).capacity,
+            last_carried: net.carried_bytes(resource),
+            last_time: net.now(),
+        }
+    }
+
+    /// The probed resource.
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// Average utilization (0–1) since the previous sample (or creation),
+    /// and resets the window. Returns 0 when no time has passed.
+    pub fn sample(&mut self, net: &FlowNet) -> f64 {
+        let carried = net.carried_bytes(self.resource);
+        let now = net.now();
+        let dt = now.saturating_since(self.last_time).as_secs_f64();
+        let moved = carried - self.last_carried;
+        self.last_carried = carried;
+        self.last_time = now;
+        if dt <= 0.0 {
+            0.0
+        } else {
+            moved / (self.capacity * dt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    #[test]
+    fn measures_capped_flow_share() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 1000.0);
+        let mut probe = UtilizationProbe::new(&net, r);
+        net.start_flow(FlowSpec::new(vec![r], 1e6).with_rate_cap(250.0));
+        net.next_change();
+        net.advance_to(SimTime::from_secs_f64(4.0));
+        assert!((probe.sample(&net) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_resets_between_samples() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 100.0);
+        let mut probe = UtilizationProbe::new(&net, r);
+        // Busy window.
+        let f = net.start_flow(FlowSpec::new(vec![r], 1e9));
+        net.next_change();
+        net.advance_to(SimTime::from_secs_f64(1.0));
+        assert!((probe.sample(&net) - 1.0).abs() < 1e-9);
+        // Idle window.
+        net.cancel_flow(f);
+        net.advance_to(SimTime::from_secs_f64(3.0));
+        assert_eq!(probe.sample(&net), 0.0);
+    }
+
+    #[test]
+    fn zero_elapsed_time_is_zero_not_nan() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 100.0);
+        let mut probe = UtilizationProbe::new(&net, r);
+        assert_eq!(probe.sample(&net), 0.0);
+    }
+
+    #[test]
+    fn carried_bytes_accumulate_across_flows() {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 10.0);
+        net.start_flow(FlowSpec::new(vec![r], 30.0));
+        while let Some(t) = net.next_change() {
+            net.advance_to(t);
+            net.take_completed();
+        }
+        net.start_flow(FlowSpec::new(vec![r], 20.0));
+        while let Some(t) = net.next_change() {
+            net.advance_to(t);
+            net.take_completed();
+        }
+        assert!((net.carried_bytes(r) - 50.0).abs() < 1e-6);
+    }
+}

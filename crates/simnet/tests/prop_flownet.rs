@@ -1,0 +1,144 @@
+//! Property-based tests for the fluid-flow network model.
+
+use aiacc_simnet::{Event, FlowNet, FlowSpec, SimDuration, Simulator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandFlow {
+    res_a: usize,
+    res_b: usize,
+    bytes: f64,
+    cap: Option<f64>,
+    latency_ns: u64,
+}
+
+fn rand_flow(n_res: usize) -> impl Strategy<Value = RandFlow> {
+    (
+        0..n_res,
+        0..n_res,
+        1.0..1e6f64,
+        prop::option::of(1.0..1e4f64),
+        0u64..1_000_000,
+    )
+        .prop_map(|(res_a, res_b, bytes, cap, latency_ns)| RandFlow {
+            res_a,
+            res_b,
+            bytes,
+            cap,
+            latency_ns,
+        })
+}
+
+proptest! {
+    /// Every flow eventually completes, exactly once.
+    #[test]
+    fn all_flows_complete(flows in prop::collection::vec(rand_flow(4), 1..20)) {
+        let mut sim = Simulator::new();
+        let res: Vec<_> = (0..4).map(|i| sim.net_mut().add_resource(format!("r{i}"), 1e4)).collect();
+        let mut ids = std::collections::BTreeSet::new();
+        for f in &flows {
+            let mut spec = FlowSpec::new(vec![res[f.res_a], res[f.res_b]], f.bytes)
+                .with_latency(SimDuration::from_nanos(f.latency_ns));
+            if let Some(c) = f.cap {
+                spec = spec.with_rate_cap(c);
+            }
+            ids.insert(sim.start_flow(spec));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while let Some((_, ev)) = sim.next_event() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "event loop did not terminate");
+            if let Event::FlowCompleted(id) = ev {
+                prop_assert!(seen.insert(id), "duplicate completion for {id}");
+            }
+        }
+        prop_assert_eq!(seen, ids);
+    }
+
+    /// At any observation point no resource is oversubscribed and no flow
+    /// exceeds its cap.
+    #[test]
+    fn rates_respect_capacities_and_caps(flows in prop::collection::vec(rand_flow(3), 1..16)) {
+        let mut net = FlowNet::new();
+        let caps = [50.0, 500.0, 5_000.0];
+        let res: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| net.add_resource(format!("r{i}"), c))
+            .collect();
+        let mut started = Vec::new();
+        for f in &flows {
+            let mut spec = FlowSpec::new(vec![res[f.res_a % 3], res[f.res_b % 3]], f.bytes)
+                .with_latency(SimDuration::from_nanos(f.latency_ns));
+            if let Some(c) = f.cap {
+                spec = spec.with_rate_cap(c);
+            }
+            started.push((net.start_flow(spec), f.cap));
+        }
+        let mut steps = 0;
+        while let Some(t) = net.next_change() {
+            steps += 1;
+            prop_assert!(steps < 10_000);
+            // Check the allocation that holds on [now, t).
+            for (i, &r) in res.iter().enumerate() {
+                let util = net.utilization(r);
+                prop_assert!(util <= 1.0 + 1e-9, "resource {i} oversubscribed: {util}");
+            }
+            for (id, cap) in &started {
+                if let (Some(flow), Some(cap)) = (net.flow(*id), cap) {
+                    if flow.rate.is_finite() {
+                        prop_assert!(flow.rate <= cap * (1.0 + 1e-9),
+                            "flow over cap: {} > {}", flow.rate, cap);
+                    }
+                }
+            }
+            net.advance_to(t);
+            net.take_completed();
+        }
+    }
+
+    /// Completion times are monotone in flow size for otherwise-identical
+    /// flows sharing one link.
+    #[test]
+    fn bigger_flows_finish_no_earlier(sizes in prop::collection::vec(1.0..1e5f64, 2..10)) {
+        let mut sim = Simulator::new();
+        let r = sim.net_mut().add_resource("link", 1e3);
+        let mut by_id = std::collections::BTreeMap::new();
+        for &s in &sizes {
+            let id = sim.start_flow(FlowSpec::new(vec![r], s));
+            by_id.insert(id, s);
+        }
+        let mut finish = Vec::new();
+        while let Some((t, ev)) = sim.next_event() {
+            if let Event::FlowCompleted(id) = ev {
+                finish.push((by_id[&id], t.as_secs_f64()));
+            }
+        }
+        finish.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in finish.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-9,
+                "smaller flow {} finished after bigger {}", w[0].0, w[1].0);
+        }
+    }
+
+    /// Single saturating flow on one link finishes at exactly bytes/capacity
+    /// (+ latency), regardless of cap >= capacity.
+    #[test]
+    fn isolated_flow_timing_is_exact(bytes in 1.0..1e7f64, lat_ns in 0u64..10_000_000) {
+        let mut sim = Simulator::new();
+        let r = sim.net_mut().add_resource("link", 1e5);
+        sim.start_flow(
+            FlowSpec::new(vec![r], bytes).with_latency(SimDuration::from_nanos(lat_ns)),
+        );
+        let mut t_done = None;
+        while let Some((t, ev)) = sim.next_event() {
+            if matches!(ev, Event::FlowCompleted(_)) {
+                t_done = Some(t.as_secs_f64());
+            }
+        }
+        let expect = bytes / 1e5 + lat_ns as f64 / 1e9;
+        let got = t_done.unwrap();
+        prop_assert!((got - expect).abs() < 1e-6 + expect * 1e-9, "got {got}, want {expect}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Throughput reports and the paper's derived metrics.
+
+use aiacc_dnn::SampleUnit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Measured throughput of one simulated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Engine name (with configuration summary).
+    pub engine: String,
+    /// Model name.
+    pub model: String,
+    /// Number of GPU workers.
+    pub world: usize,
+    /// Per-GPU batch size.
+    pub batch_per_gpu: usize,
+    /// What a "sample" is for this model.
+    pub unit: SampleUnit,
+    /// Measured per-iteration durations in seconds.
+    pub iter_secs: Vec<f64>,
+    /// Aggregate throughput in samples/second.
+    pub samples_per_sec: f64,
+}
+
+impl ThroughputReport {
+    /// Builds a report from measured iteration times.
+    ///
+    /// # Panics
+    /// Panics if no iterations were measured or any duration is
+    /// non-positive.
+    pub fn new(
+        engine: String,
+        model: String,
+        world: usize,
+        batch_per_gpu: usize,
+        unit: SampleUnit,
+        iter_secs: Vec<f64>,
+    ) -> Self {
+        assert!(!iter_secs.is_empty(), "no measured iterations");
+        assert!(iter_secs.iter().all(|&t| t > 0.0), "non-positive iteration time");
+        let total: f64 = iter_secs.iter().sum();
+        let samples = (world * batch_per_gpu * iter_secs.len()) as f64;
+        ThroughputReport {
+            engine,
+            model,
+            world,
+            batch_per_gpu,
+            unit,
+            samples_per_sec: samples / total,
+            iter_secs,
+        }
+    }
+
+    /// Mean iteration duration in seconds.
+    pub fn mean_iter_secs(&self) -> f64 {
+        self.iter_secs.iter().sum::<f64>() / self.iter_secs.len() as f64
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} @ {} GPUs: {:.0} {}/s",
+            self.model, self.engine, self.world, self.samples_per_sec, self.unit
+        )
+    }
+}
+
+/// Scaling efficiency per the paper's definition (§III, footnote 3):
+/// measured N-GPU throughput over N× the single-GPU throughput.
+///
+/// # Panics
+/// Panics if `single` is not a 1-GPU run.
+pub fn scaling_efficiency(single: &ThroughputReport, multi: &ThroughputReport) -> f64 {
+    assert_eq!(single.world, 1, "baseline must be a single-GPU run");
+    multi.samples_per_sec / (single.samples_per_sec * multi.world as f64)
+}
+
+/// Throughput speedup of `ours` over `baseline` (same model/world).
+pub fn speedup(ours: &ThroughputReport, baseline: &ThroughputReport) -> f64 {
+    ours.samples_per_sec / baseline.samples_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(world: usize, iter: f64) -> ThroughputReport {
+        ThroughputReport::new(
+            "e".into(),
+            "m".into(),
+            world,
+            10,
+            SampleUnit::Images,
+            vec![iter; 3],
+        )
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report(4, 0.5);
+        // 4 GPUs × 10 samples / 0.5 s.
+        assert!((r.samples_per_sec - 80.0).abs() < 1e-9);
+        assert!((r.mean_iter_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_scaling_is_one() {
+        let single = report(1, 0.5);
+        let multi = report(8, 0.5);
+        assert!((scaling_efficiency(&single, &multi) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slower_iterations_reduce_efficiency() {
+        let single = report(1, 0.5);
+        let multi = report(8, 1.0); // takes twice as long per iteration
+        assert!((scaling_efficiency(&single, &multi) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let a = report(8, 0.25);
+        let b = report(8, 0.5);
+        assert!((speedup(&a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-GPU")]
+    fn efficiency_requires_single_gpu_baseline() {
+        let _ = scaling_efficiency(&report(2, 0.5), &report(8, 0.5));
+    }
+}

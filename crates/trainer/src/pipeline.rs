@@ -1,0 +1,226 @@
+//! Pipeline-parallel schedule timing.
+//!
+//! The paper supports pipeline parallelism as one of the strategies beyond
+//! pure data parallelism (§I footnote 1, §IV "can be used with data, model
+//! and pipeline parallelisms or a mixture"). This module provides the
+//! schedule arithmetic — GPipe-style fill/drain bubbles and the 1F1B
+//! steady-state memory advantage — plus a timing simulation of one pipeline
+//! replica, which the hybrid experiment (Fig. 13) composes with data
+//! parallelism across replicas.
+
+use aiacc_cluster::{ClusterSpec, ComputeModel};
+use aiacc_dnn::{DType, ModelProfile};
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline schedule runs the microbatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// GPipe: all forwards, then all backwards. Simple, high activation
+    /// memory.
+    GPipe,
+    /// 1F1B (PipeDream-flush): interleaved steady state. Same bubble as
+    /// GPipe, but activation memory bounded by the stage count instead of
+    /// the microbatch count.
+    OneFOneB,
+}
+
+/// Pipeline configuration for one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Pipeline stages (model split depth).
+    pub stages: usize,
+    /// Microbatches per iteration.
+    pub microbatches: usize,
+    /// Schedule.
+    pub schedule: Schedule,
+}
+
+impl PipelineConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if stages or microbatches are zero.
+    pub fn new(stages: usize, microbatches: usize, schedule: Schedule) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        assert!(microbatches > 0, "need at least one microbatch");
+        PipelineConfig { stages, microbatches, schedule }
+    }
+
+    /// The pipeline bubble fraction: idle time over total schedule time,
+    /// `(S − 1) / (M + S − 1)` for both GPipe and 1F1B.
+    pub fn bubble_fraction(&self) -> f64 {
+        let s = self.stages as f64;
+        let m = self.microbatches as f64;
+        (s - 1.0) / (m + s - 1.0)
+    }
+
+    /// Schedule-length inflation over perfect parallelism:
+    /// `(M + S − 1) / M` — the factor a per-stage compute time is stretched
+    /// by fill/drain.
+    pub fn inflation(&self) -> f64 {
+        let s = self.stages as f64;
+        let m = self.microbatches as f64;
+        (m + s - 1.0) / m
+    }
+
+    /// Peak live activations (in microbatches) on the first stage: `M` for
+    /// GPipe, `min(M, S)` for 1F1B — the reason 1F1B exists.
+    pub fn peak_activation_microbatches(&self) -> usize {
+        match self.schedule {
+            Schedule::GPipe => self.microbatches,
+            Schedule::OneFOneB => self.microbatches.min(self.stages),
+        }
+    }
+}
+
+/// Timing of one pipeline replica's iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Iteration wall-clock seconds (compute + bubbles + activation
+    /// transfers; gradient communication is layered on top by the caller).
+    pub iter_secs: f64,
+    /// Fraction of the schedule lost to fill/drain.
+    pub bubble_fraction: f64,
+    /// Peak activation memory, in bytes, on stage 0.
+    pub peak_activation_bytes: f64,
+}
+
+/// Per-sample activation volume at a stage boundary (ResNet-scale default,
+/// also used by the hybrid experiment).
+pub const ACTIVATION_BYTES_PER_SAMPLE: f64 = 0.8e6;
+
+/// Computes the iteration timing of one pipeline replica of `model` on the
+/// GPUs of one node of `cluster`.
+///
+/// # Panics
+/// Panics if `cfg.stages` exceeds the node's GPU count or `batch` is not a
+/// multiple of the microbatch count.
+pub fn pipeline_iteration(
+    cluster: &ClusterSpec,
+    model: &ModelProfile,
+    batch: usize,
+    cfg: PipelineConfig,
+) -> PipelineReport {
+    assert!(
+        cfg.stages <= cluster.node.gpus_per_node,
+        "stages {} exceed node size {}",
+        cfg.stages,
+        cluster.node.gpus_per_node
+    );
+    assert!(
+        batch % cfg.microbatches == 0,
+        "batch {batch} not a multiple of {} microbatches",
+        cfg.microbatches
+    );
+    let cm = ComputeModel::new(cluster.node.gpu.clone());
+    let timing = cm.iteration_timing(model, batch, DType::F32);
+    // Perfectly split compute per stage, stretched by the schedule.
+    let per_stage = (timing.forward + timing.backward).as_secs_f64() / cfg.stages as f64;
+    let compute = per_stage * cfg.inflation();
+    // Every microbatch crosses (S − 1) boundaries forward and backward.
+    let act = 2.0
+        * (cfg.stages - 1) as f64
+        * batch as f64
+        * ACTIVATION_BYTES_PER_SAMPLE
+        / cluster.node.gpu.nvlink_bytes_per_sec();
+    let peak = cfg.peak_activation_microbatches() as f64 * (batch / cfg.microbatches) as f64
+        * ACTIVATION_BYTES_PER_SAMPLE;
+    PipelineReport {
+        iter_secs: compute + act + timing.update.as_secs_f64(),
+        bubble_fraction: cfg.bubble_fraction(),
+        peak_activation_bytes: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiacc_dnn::zoo;
+
+    #[test]
+    fn bubble_formula_matches_known_values() {
+        let c = PipelineConfig::new(4, 8, Schedule::GPipe);
+        assert!((c.bubble_fraction() - 3.0 / 11.0).abs() < 1e-12);
+        assert!((c.inflation() - 11.0 / 8.0).abs() < 1e-12);
+        // Single stage: no bubble.
+        let solo = PipelineConfig::new(1, 8, Schedule::GPipe);
+        assert_eq!(solo.bubble_fraction(), 0.0);
+        assert_eq!(solo.inflation(), 1.0);
+    }
+
+    #[test]
+    fn more_microbatches_shrink_the_bubble() {
+        let few = PipelineConfig::new(8, 4, Schedule::GPipe);
+        let many = PipelineConfig::new(8, 64, Schedule::GPipe);
+        assert!(many.bubble_fraction() < few.bubble_fraction());
+        assert!(many.inflation() < few.inflation());
+    }
+
+    #[test]
+    fn one_f_one_b_bounds_activation_memory() {
+        let gpipe = PipelineConfig::new(4, 32, Schedule::GPipe);
+        let fb = PipelineConfig::new(4, 32, Schedule::OneFOneB);
+        // Same bubble...
+        assert_eq!(gpipe.bubble_fraction(), fb.bubble_fraction());
+        // ...but 8x less peak activation memory (32 vs min(32,4)=4).
+        assert_eq!(gpipe.peak_activation_microbatches(), 32);
+        assert_eq!(fb.peak_activation_microbatches(), 4);
+    }
+
+    #[test]
+    fn pipelining_beats_single_gpu_iteration_time() {
+        let cluster = ClusterSpec::tcp_v100(8);
+        let single = pipeline_iteration(
+            &cluster,
+            &zoo::resnet50(),
+            64,
+            PipelineConfig::new(1, 1, Schedule::GPipe),
+        );
+        let piped = pipeline_iteration(
+            &cluster,
+            &zoo::resnet50(),
+            64,
+            PipelineConfig::new(8, 32, Schedule::OneFOneB),
+        );
+        assert!(
+            piped.iter_secs < single.iter_secs * 0.3,
+            "8-stage pipeline {} vs single {}",
+            piped.iter_secs,
+            single.iter_secs
+        );
+    }
+
+    #[test]
+    fn report_reflects_memory_difference() {
+        let cluster = ClusterSpec::tcp_v100(8);
+        let mk = |s| {
+            pipeline_iteration(&cluster, &zoo::resnet50(), 64, PipelineConfig::new(4, 16, s))
+        };
+        let gpipe = mk(Schedule::GPipe);
+        let fb = mk(Schedule::OneFOneB);
+        assert!((gpipe.iter_secs - fb.iter_secs).abs() < 1e-12, "same wall-clock");
+        assert!(gpipe.peak_activation_bytes > fb.peak_activation_bytes * 3.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed node size")]
+    fn too_many_stages_rejected() {
+        let _ = pipeline_iteration(
+            &ClusterSpec::tcp_v100(8),
+            &zoo::resnet50(),
+            64,
+            PipelineConfig::new(9, 16, Schedule::GPipe),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn microbatch_divisibility_enforced() {
+        let _ = pipeline_iteration(
+            &ClusterSpec::tcp_v100(8),
+            &zoo::resnet50(),
+            50,
+            PipelineConfig::new(2, 16, Schedule::GPipe),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: simulate AIACC-Training vs Horovod on one workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Trains (in simulation) ResNet-50 on 4 nodes × 8 V100 GPUs connected by a
+//! 30 Gbps VPC TCP network — the paper's evaluation platform (§VII-A) — and
+//! prints throughput for AIACC-Training and Horovod side by side.
+
+use aiacc::prelude::*;
+
+fn main() {
+    let gpus = 32;
+    let model = zoo::resnet50();
+    println!(
+        "Simulating {} ({:.1}M params, {} gradient tensors) on {gpus} V100s / 30Gbps TCP\n",
+        model.name(),
+        model.num_params() as f64 / 1e6,
+        model.num_gradients(),
+    );
+
+    let run = |engine: EngineKind| -> ThroughputReport {
+        run_training_sim(
+            TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
+                .with_iterations(2, 3),
+        )
+    };
+
+    let single = run_training_sim(TrainingSimConfig::new(
+        ClusterSpec::tcp_v100(1),
+        model.clone(),
+        EngineKind::aiacc_default(),
+    ));
+    println!("single GPU reference : {:8.0} images/s", single.samples_per_sec);
+
+    let aiacc = run(EngineKind::aiacc_default());
+    let horovod = run(EngineKind::Horovod(Default::default()));
+
+    for r in [&aiacc, &horovod] {
+        println!(
+            "{:<21}: {:8.0} images/s  (scaling efficiency {:.1}%)",
+            r.engine,
+            r.samples_per_sec,
+            100.0 * scaling_efficiency(&single, r),
+        );
+    }
+    println!(
+        "\nAIACC-Training speedup over Horovod: {:.2}x",
+        speedup(&aiacc, &horovod)
+    );
+    println!("(the paper reports 1.3x on ResNet-50 at 32 GPUs, growing with scale — §III)");
+}

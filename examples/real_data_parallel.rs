@@ -1,0 +1,53 @@
+//! Real data-parallel training through the exact collectives.
+//!
+//! Run with: `cargo run --release --example real_data_parallel`
+//!
+//! This is the *data plane*: a real MLP trained across 8 simulated workers.
+//! Gradients are computed by real backprop, packed into all-reduce units,
+//! pushed through the exact chunk-level ring all-reduce (Fig. 1), averaged,
+//! and applied — then the distributed run is checked against single-worker
+//! large-batch training, step for step.
+
+use aiacc::prelude::*;
+
+fn main() {
+    let world = 8;
+    let batch = 16;
+    println!("Training a real MLP on {world} workers (batch {batch}/worker)...\n");
+
+    let mut distributed = DataParallelTrainer::new(DataParallelConfig::new(
+        vec![8, 64, 32, 4],
+        world,
+        batch,
+    ));
+    let mut single = DataParallelTrainer::new(DataParallelConfig::new(
+        vec![8, 64, 32, 4],
+        1,
+        world * batch,
+    ));
+
+    for step in 0..100u32 {
+        let l_multi = distributed.step();
+        let l_single = single.step();
+        if step % 20 == 0 {
+            println!(
+                "step {step:>3}: distributed loss {l_multi:.4}   single-worker loss {l_single:.4}"
+            );
+        }
+    }
+
+    // The invariant data parallelism rests on:
+    let a = distributed.model().params_flat();
+    let b = single.model().params_flat();
+    let max_diff = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    println!("\nmax parameter difference distributed vs single-worker: {max_diff:.2e}");
+    assert!(max_diff < 1e-3, "data-parallel training diverged from the reference");
+
+    let test = Dataset::gaussian_blobs(2000, 8, 4, 9999);
+    println!("test accuracy: {:.1}%", 100.0 * distributed.accuracy(&test));
+    println!("\nDistributed and single-worker training are numerically equivalent. ✓");
+}

@@ -1,0 +1,56 @@
+//! Scaling sweep: reproduce the shape of Fig. 9 for one model.
+//!
+//! Run with: `cargo run --release --example scaling_sweep [model]`
+//! (models: vgg16 | resnet50 | resnet101 | transformer | bert_large)
+//!
+//! Sweeps 1 → 64 GPUs and prints the throughput of all four competing
+//! methods (§VII-C) plus AIACC's scaling efficiency.
+
+use aiacc::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_string());
+    let Some(model) = zoo::by_name(&name) else {
+        eprintln!("unknown model {name}; try vgg16 / resnet50 / resnet101 / transformer / bert_large");
+        std::process::exit(2);
+    };
+
+    let engines: Vec<(&str, EngineKind)> = vec![
+        ("aiacc", EngineKind::aiacc_default()),
+        ("horovod", EngineKind::Horovod(Default::default())),
+        ("pytorch-ddp", EngineKind::PyTorchDdp(Default::default())),
+        ("byteps", EngineKind::BytePs(Default::default())),
+    ];
+
+    println!(
+        "{} — batch {}/GPU, 30Gbps TCP, 8xV100 nodes",
+        model.name(),
+        model.default_batch_per_gpu()
+    );
+    print!("{:>6}", "gpus");
+    for (n, _) in &engines {
+        print!("{n:>14}");
+    }
+    println!("{:>10}", "aiacc eff");
+
+    let single = run_training_sim(TrainingSimConfig::new(
+        ClusterSpec::tcp_v100(1),
+        model.clone(),
+        engines[0].1,
+    ));
+    for gpus in [1usize, 2, 4, 8, 16, 32, 64] {
+        print!("{gpus:>6}");
+        let mut aiacc_eff = 1.0;
+        for (i, (_, e)) in engines.iter().enumerate() {
+            let r = run_training_sim(
+                TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), *e)
+                    .with_iterations(1, 2),
+            );
+            print!("{:>14.0}", r.samples_per_sec);
+            if i == 0 && gpus > 1 {
+                aiacc_eff = scaling_efficiency(&single, &r);
+            }
+        }
+        println!("{aiacc_eff:>10.3}");
+    }
+}

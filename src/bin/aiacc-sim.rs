@@ -1,0 +1,162 @@
+//! `aiacc-sim` — run one simulated distributed-training job from the
+//! command line.
+//!
+//! ```text
+//! aiacc-sim [--model NAME] [--gpus N] [--engine aiacc|horovod|ddp|byteps|kvstore]
+//!           [--streams N] [--granularity MIB] [--batch N] [--rdma]
+//!           [--compression] [--tree] [--tune BUDGET] [--iters N]
+//! ```
+//!
+//! Examples:
+//! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
+//! `aiacc-sim --model bert_large --gpus 64 --rdma --tune 40`
+
+use aiacc::collectives::Algo;
+use aiacc::prelude::*;
+use aiacc::trainer::tune::tune_aiacc;
+
+struct Args {
+    model: String,
+    gpus: usize,
+    engine: String,
+    streams: Option<usize>,
+    granularity_mib: Option<f64>,
+    batch: Option<usize>,
+    rdma: bool,
+    compression: bool,
+    tree: bool,
+    tune: Option<usize>,
+    iters: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: "resnet50".to_string(),
+        gpus: 32,
+        engine: "aiacc".to_string(),
+        streams: None,
+        granularity_mib: None,
+        batch: None,
+        rdma: false,
+        compression: false,
+        tree: false,
+        tune: None,
+        iters: 3,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--model" => args.model = value(&mut i)?,
+            "--gpus" => args.gpus = value(&mut i)?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--engine" => args.engine = value(&mut i)?,
+            "--streams" => {
+                args.streams = Some(value(&mut i)?.parse().map_err(|e| format!("--streams: {e}"))?)
+            }
+            "--granularity" => {
+                args.granularity_mib =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--granularity: {e}"))?)
+            }
+            "--batch" => {
+                args.batch = Some(value(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?)
+            }
+            "--rdma" => args.rdma = true,
+            "--compression" => args.compression = true,
+            "--tree" => args.tree = true,
+            "--tune" => {
+                args.tune = Some(value(&mut i)?.parse().map_err(|e| format!("--tune: {e}"))?)
+            }
+            "--iters" => args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--help" | "-h" => {
+                return Err("usage: aiacc-sim [--model NAME] [--gpus N] [--engine E] \
+                            [--streams N] [--granularity MIB] [--batch N] [--rdma] \
+                            [--compression] [--tree] [--tune BUDGET] [--iters N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let Some(model) = zoo::by_name(&args.model) else {
+        eprintln!(
+            "unknown model {}; available: vgg16 resnet50 resnet101 transformer bert_large \
+             gpt2_xl insightface_r50 ctr_production tiny_cnn",
+            args.model
+        );
+        std::process::exit(2);
+    };
+    let cluster = if args.rdma {
+        ClusterSpec::rdma_v100(args.gpus)
+    } else {
+        ClusterSpec::tcp_v100(args.gpus)
+    };
+
+    let mut aiacc_cfg = AiaccConfig::default();
+    if let Some(s) = args.streams {
+        aiacc_cfg = aiacc_cfg.with_streams(s);
+    }
+    if let Some(g) = args.granularity_mib {
+        aiacc_cfg = aiacc_cfg.with_granularity(g * 1024.0 * 1024.0);
+    }
+    if args.compression {
+        aiacc_cfg = aiacc_cfg.with_compression(true);
+    }
+    if args.tree {
+        aiacc_cfg = aiacc_cfg.with_algo(Algo::Tree);
+    }
+    if let Some(budget) = args.tune {
+        eprintln!("[aiacc-sim] auto-tuning ({budget} warm-up iterations)...");
+        let (tuned, report) = tune_aiacc(&model, &cluster, budget, 7, None);
+        eprintln!(
+            "[aiacc-sim] tuned: {} streams / {:.0} MiB / {:?} ({:.4}s per iteration)",
+            tuned.streams,
+            tuned.granularity / (1024.0 * 1024.0),
+            tuned.algo,
+            report.best_value
+        );
+        aiacc_cfg = tuned;
+    }
+
+    let engine = match args.engine.as_str() {
+        "aiacc" => EngineKind::Aiacc(aiacc_cfg),
+        "horovod" => EngineKind::Horovod(Default::default()),
+        "ddp" | "pytorch-ddp" => EngineKind::PyTorchDdp(Default::default()),
+        "byteps" => EngineKind::BytePs(Default::default()),
+        "kvstore" | "mxnet-kvstore" => EngineKind::MxnetKvStore(Default::default()),
+        other => {
+            eprintln!("unknown engine {other}; use aiacc|horovod|ddp|byteps|kvstore");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = TrainingSimConfig::new(cluster, model, engine).with_iterations(1, args.iters);
+    if let Some(b) = args.batch {
+        cfg = cfg.with_batch(b);
+    }
+    let mut sim = TrainingSim::new(cfg);
+    let _ = sim.run_iteration(); // warm-up
+    let detail = sim.run_iteration_detailed();
+    let report = sim.run();
+    println!("{report}");
+    println!(
+        "iteration breakdown: backward ends {:.1} ms | comm done {:.1} ms | tail {:.1} ms",
+        detail.backward_end_secs * 1e3,
+        detail.comm_done_secs * 1e3,
+        detail.comm_tail_secs() * 1e3,
+    );
+}

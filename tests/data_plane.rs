@@ -1,0 +1,238 @@
+//! Cross-crate numerical integration: real gradients through the exact
+//! collectives, optimizers, and compression.
+
+use aiacc::optim::schedule::{LinearDecay, LrSchedule, StepDecay};
+use aiacc::prelude::*;
+
+#[test]
+fn perseus_allreduce_equals_manual_average() {
+    let layout = vec![("w".to_string(), 64usize), ("b".to_string(), 8)];
+    let p = Perseus::new(&layout, PerseusConfig::new(5));
+    let grads: Vec<Vec<Vec<f32>>> = (0..5)
+        .map(|w| {
+            vec![
+                (0..64).map(|i| (w * 100 + i) as f32 * 0.01).collect(),
+                (0..8).map(|i| (w + i) as f32).collect(),
+            ]
+        })
+        .collect();
+    let out = p.allreduce_step(grads.clone());
+    for t in 0..2 {
+        for i in 0..grads[0][t].len() {
+            let mean: f32 = (0..5).map(|w| grads[w][t][i]).sum::<f32>() / 5.0;
+            assert!((out[t][i] - mean).abs() < 1e-4, "tensor {t} elem {i}");
+        }
+    }
+}
+
+#[test]
+fn dataplane_ring_matches_perseus_for_whole_tensors() {
+    // The low-level collective and the packed Perseus session must agree.
+    let mut bufs: Vec<Vec<f32>> = (0..4).map(|w| vec![w as f32 + 0.5; 32]).collect();
+    ring_allreduce(&mut bufs, ReduceOp::Sum);
+    let layout = vec![("t".to_string(), 32usize)];
+    let p = Perseus::new(&layout, PerseusConfig::new(4).with_sum());
+    let out = p.allreduce_step((0..4).map(|w| vec![vec![w as f32 + 0.5; 32]]).collect());
+    assert_eq!(out[0], bufs[0]);
+}
+
+#[test]
+fn all_optimizers_train_the_distributed_mlp() {
+    // Swap each optimizer into a manual data-parallel loop built from public
+    // parts: MLP grads -> Perseus -> optimizer.
+    let world = 4;
+    let data = Dataset::gaussian_blobs(512, 4, 3, 77);
+    for (name, mut opt) in [
+        ("sgd", Box::new(Sgd::new(0.1).with_momentum(0.9)) as Box<dyn Optimizer>),
+        ("adam", Box::new(Adam::new(0.01))),
+        ("adam_sgd", Box::new(AdamSgd::new(0.01, 0.05))),
+    ] {
+        let mut model = Mlp::new(&MlpConfig::new(vec![4, 24, 3], 5));
+        let perseus = Perseus::new(&model.param_layout(), PerseusConfig::new(world));
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for step in 0..80 {
+            let mut grads_per_worker = Vec::new();
+            let mut loss_sum = 0.0;
+            for w in 0..world {
+                let mut xs = Vec::new();
+                let mut ys = Vec::new();
+                for i in 0..8 {
+                    let (f, l) = data.sample((step * world * 8 + w * 8 + i) % data.len());
+                    xs.extend_from_slice(f);
+                    ys.push(l);
+                }
+                let (loss, grads) = model.loss_and_grads(&xs, &ys);
+                loss_sum += loss;
+                grads_per_worker.push(grads);
+            }
+            let reduced = perseus.allreduce_step(grads_per_worker);
+            let flat: Vec<f32> = reduced.into_iter().flatten().collect();
+            let mut params = model.params_flat();
+            opt.step(&mut params, &flat);
+            model.set_params_flat(&params);
+            last_loss = loss_sum / world as f64;
+            first_loss.get_or_insert(last_loss);
+        }
+        let first = first_loss.unwrap();
+        assert!(
+            last_loss < first * 0.6,
+            "{name}: loss did not improve ({first} -> {last_loss})"
+        );
+    }
+}
+
+#[test]
+fn fp16_wire_compression_precision_is_adequate_for_training() {
+    let mut exact = DataParallelTrainer::new(DataParallelConfig::new(vec![4, 16, 3], 4, 8));
+    let mut cfg = DataParallelConfig::new(vec![4, 16, 3], 4, 8);
+    cfg.compression = true;
+    let mut lossy = DataParallelTrainer::new(cfg);
+    exact.train(100);
+    lossy.train(100);
+    let test = Dataset::gaussian_blobs(1000, 4, 3, 12345);
+    let acc_exact = exact.accuracy(&test);
+    let acc_lossy = lossy.accuracy(&test);
+    assert!(
+        acc_lossy > acc_exact - 0.05,
+        "fp16 wire hurt accuracy: {acc_exact} vs {acc_lossy}"
+    );
+}
+
+#[test]
+fn linear_decay_trains_at_least_as_well_as_step_decay_here() {
+    // §IV: AIACC uses linear decay. On this smooth problem both work; the
+    // linear schedule must not be worse — and the schedules themselves must
+    // decay as specified.
+    let linear = LinearDecay::new(0.1, 0.001, 200);
+    let step = StepDecay::new(0.1, 0.1, 70);
+    assert!(linear.lr_at(100) > step.lr_at(100)); // linear decays smoothly
+    let run = |use_linear: bool| {
+        let mut cfg = DataParallelConfig::new(vec![4, 16, 3], 2, 16);
+        cfg.decay_steps = if use_linear { Some(200) } else { None };
+        let mut t = DataParallelTrainer::new(cfg);
+        let stats = t.train(200);
+        stats.losses.last().copied().unwrap()
+    };
+    let with_decay = run(true);
+    let without = run(false);
+    assert!(with_decay <= without * 1.5, "decay {with_decay} vs constant {without}");
+}
+
+#[test]
+fn threaded_perseus_trains_real_models_from_worker_threads() {
+    // Horovod-shaped usage: each worker thread owns a handle and its own
+    // model replica; replicas stay identical across steps.
+    use aiacc::core::perseus_world;
+    let world = 4;
+    let template = Mlp::new(&MlpConfig::new(vec![4, 12, 3], 3));
+    let data = Dataset::gaussian_blobs(256, 4, 3, 21);
+    let handles = perseus_world(&template.param_layout(), PerseusConfig::new(world));
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            let mut model = template.clone();
+            let shard = data.shard(h.rank(), world);
+            std::thread::spawn(move || {
+                for step in 0..20 {
+                    let start = (step * 8) % (shard.len() - 8);
+                    let xs = &shard.features[start * 4..(start + 8) * 4];
+                    let ys = &shard.labels[start..start + 8];
+                    let (_, grads) = model.loss_and_grads(xs, ys);
+                    let reduced = h.allreduce(grads);
+                    let flat: Vec<f32> = reduced.into_iter().flatten().collect();
+                    model.apply_sgd(&flat, 0.1);
+                }
+                model.params_flat()
+            })
+        })
+        .collect();
+    let finals: Vec<Vec<f32>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    for f in &finals[1..] {
+        assert_eq!(f, &finals[0], "replicas diverged across threads");
+    }
+}
+
+#[test]
+fn wire_frames_round_trip_packed_buckets() {
+    // Pack → encode → decode → unpack across the crate boundary.
+    use aiacc::core::packing::pack_units;
+    use aiacc::core::wire::{decode_frame, encode_frame};
+    use aiacc::core::GradientRegistry;
+    use aiacc::dnn::GradId;
+
+    let layout = vec![("a".to_string(), 10usize), ("b".to_string(), 7)];
+    let reg = GradientRegistry::from_layout(&layout, DType::F32);
+    let (units, partial) = pack_units(&reg, [GradId(0), GradId(1)], 24.0);
+    let all: Vec<_> = units.into_iter().chain(partial).collect();
+    let payload: Vec<f32> = (0..17).map(|i| i as f32 * 0.5).collect();
+    let mut offset = 0;
+    for unit in &all {
+        let n = unit.elems();
+        let frame = encode_frame(&unit.segments, &payload[offset..offset + n], DType::F32);
+        let decoded = decode_frame(&frame).expect("well-formed frame");
+        assert_eq!(decoded.segments, unit.segments);
+        assert_eq!(decoded.values, &payload[offset..offset + n]);
+        offset += n;
+    }
+    assert_eq!(offset, 17, "frames covered the full payload");
+}
+
+#[test]
+fn gradient_queue_feeds_perseus_buckets() {
+    use aiacc::core::{GradientQueue, GradientRegistry};
+    use aiacc::dnn::GradId;
+
+    let mlp = Mlp::new(&MlpConfig::new(vec![3, 6, 2], 1));
+    let reg = GradientRegistry::from_layout(&mlp.param_layout(), DType::F32);
+    let mut q = GradientQueue::new(&reg, 64.0); // 16 f32 elements per bucket
+    let (_, grads) = mlp.loss_and_grads(&[0.1, 0.2, 0.3], &[1]);
+    let mut buckets = Vec::new();
+    for (i, g) in grads.into_iter().enumerate() {
+        if let Some(b) = q.push(GradId(i as u32), Tensor::from_vec(g)) {
+            buckets.push(b);
+        }
+    }
+    assert!(q.all_pushed());
+    let tail = q.flush();
+    if !tail.is_empty() {
+        buckets.push(tail);
+    }
+    let total: usize = buckets.iter().flatten().map(|(_, t)| t.len()).sum();
+    assert_eq!(total, mlp.num_params(), "queue lost or duplicated elements");
+}
+
+#[test]
+fn gradient_values_survive_pack_unpack_at_any_granularity() {
+    // Property-style check across the crate boundary: oddly-sized tensors,
+    // several granularities, world sizes 2..5.
+    for world in 2..=5 {
+        for gran in [8.0, 64.0, 4096.0, 1e9] {
+            let layout = vec![
+                ("a".to_string(), 17usize),
+                ("b".to_string(), 1),
+                ("c".to_string(), 130),
+            ];
+            let p = Perseus::new(&layout, PerseusConfig::new(world).with_granularity(gran));
+            let grads: Vec<Vec<Vec<f32>>> = (0..world)
+                .map(|w| {
+                    layout
+                        .iter()
+                        .map(|(_, n)| (0..*n).map(|i| ((w + 1) * (i + 3)) as f32 * 0.125).collect())
+                        .collect()
+                })
+                .collect();
+            let out = p.allreduce_step(grads.clone());
+            for (t, (_, n)) in layout.iter().enumerate() {
+                for i in 0..*n {
+                    let mean: f32 =
+                        (0..world).map(|w| grads[w][t][i]).sum::<f32>() / world as f32;
+                    assert!(
+                        (out[t][i] - mean).abs() < 1e-3,
+                        "world {world} gran {gran} tensor {t} elem {i}"
+                    );
+                }
+            }
+        }
+    }
+}
