@@ -109,9 +109,8 @@ impl TuningCache {
     /// Stores (or improves) the best configuration for a deployment.
     pub fn store(&self, graph: GraphSig, topo: TopoSig, config: TuningConfig, value: f64) {
         let mut entries = self.entries.write();
-        if let Some(e) = entries
-            .iter_mut()
-            .find(|e| e.graph == graph && topo_distance(&e.topo, &topo) == 0.0)
+        if let Some(e) =
+            entries.iter_mut().find(|e| e.graph == graph && topo_distance(&e.topo, &topo) == 0.0)
         {
             if value < e.value {
                 e.config = config;

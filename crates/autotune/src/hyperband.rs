@@ -135,10 +135,8 @@ mod tests {
         // The most-evaluated stream count should be among the better ones
         // sampled in the bracket.
         let (&most, _) = counts.iter().max_by_key(|&(_, c)| *c).unwrap();
-        let best_sampled = counts
-            .keys()
-            .map(|&s| (s as f64 - 12.0).abs())
-            .fold(f64::INFINITY, f64::min);
+        let best_sampled =
+            counts.keys().map(|&s| (s as f64 - 12.0).abs()).fold(f64::INFINITY, f64::min);
         assert!(
             ((most as f64 - 12.0).abs() - best_sampled) <= 4.0,
             "hyperband concentrated on {most} (best sampled distance {best_sampled})"

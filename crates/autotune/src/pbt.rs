@@ -27,8 +27,7 @@ impl PopulationTraining {
         assert!(size > 0, "population must be non-empty");
         assert!(!space.is_empty(), "empty tuning space");
         let mut rng = StdRng::seed_from_u64(seed);
-        let population =
-            (0..size).map(|_| space.index(rng.random_range(0..space.len()))).collect();
+        let population = (0..size).map(|_| space.index(rng.random_range(0..space.len()))).collect();
         PopulationTraining { space, rng, population, scores: vec![None; size], cursor: 0 }
     }
 

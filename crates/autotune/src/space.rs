@@ -115,11 +115,8 @@ impl TuningSpace {
     /// Maps a config to normalized `[0, 1]³` coordinates (for the GP).
     pub fn normalize(&self, cfg: &TuningConfig) -> [f64; 3] {
         let si = self.streams.iter().position(|&s| s == cfg.streams).unwrap_or(0);
-        let gi = self
-            .granularities
-            .iter()
-            .position(|&g| (g - cfg.granularity).abs() < 1.0)
-            .unwrap_or(0);
+        let gi =
+            self.granularities.iter().position(|&g| (g - cfg.granularity).abs() < 1.0).unwrap_or(0);
         let ai = self.algos.iter().position(|&a| a == cfg.algo).unwrap_or(0);
         let norm = |i: usize, n: usize| {
             if n <= 1 {
@@ -147,10 +144,7 @@ impl TuningSpace {
                 out.push(TuningConfig { streams: self.streams[si + 1], ..*cfg });
             }
         }
-        if let Some(gi) = self
-            .granularities
-            .iter()
-            .position(|&g| (g - cfg.granularity).abs() < 1.0)
+        if let Some(gi) = self.granularities.iter().position(|&g| (g - cfg.granularity).abs() < 1.0)
         {
             if gi > 0 {
                 out.push(TuningConfig { granularity: self.granularities[gi - 1], ..*cfg });

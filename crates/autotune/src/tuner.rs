@@ -80,7 +80,10 @@ impl std::fmt::Debug for Tuner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tuner")
             .field("space", &self.space)
-            .field("searchers", &self.searchers.iter().map(|s| s.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "searchers",
+                &self.searchers.iter().map(|s| s.name().to_string()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -13,10 +13,10 @@
 //! connections per worker-server pair — its bottleneck is volume
 //! concentration, not per-flow limits.
 
+use aiacc_collectives::OpId;
 use aiacc_core::ddl::{DdlCtx, DdlEngine};
 use aiacc_core::packing::{pack_units, AllReduceUnit, ReduceTracker};
 use aiacc_core::GradientRegistry;
-use aiacc_collectives::OpId;
 use aiacc_dnn::{DType, GradId, ModelProfile};
 use aiacc_simnet::{FlowSpec, ResourceId};
 use serde::{Deserialize, Serialize};
@@ -122,8 +122,12 @@ impl BytePsEngine {
             let mut push = Vec::new();
             let mut pull = Vec::new();
             for r in 0..spec.world_size() {
-                push.push(FlowSpec::new(vec![cx.cluster.gpu_tx_resource(r)], bytes).with_latency(lat));
-                pull.push(FlowSpec::new(vec![cx.cluster.gpu_tx_resource(r)], bytes).with_latency(lat));
+                push.push(
+                    FlowSpec::new(vec![cx.cluster.gpu_tx_resource(r)], bytes).with_latency(lat),
+                );
+                pull.push(
+                    FlowSpec::new(vec![cx.cluster.gpu_tx_resource(r)], bytes).with_latency(lat),
+                );
             }
             return VecDeque::from(vec![push, pull]);
         }

@@ -8,10 +8,10 @@
 //! concurrency, so the single-flow cap limits bandwidth exactly as for
 //! Horovod (§VIII-A: AIACC improves DDP by up to 2.68× at 256 GPUs).
 
+use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
 use aiacc_core::ddl::{DdlCtx, DdlEngine};
 use aiacc_core::packing::{AllReduceUnit, ReduceTracker, Segment};
 use aiacc_core::GradientRegistry;
-use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
 use aiacc_dnn::{DType, GradId, ModelProfile};
 use serde::{Deserialize, Serialize};
 
@@ -91,9 +91,8 @@ impl DdpEngine {
             let idx = self.next_to_launch;
             self.next_to_launch += 1;
             let bytes = self.buckets[idx].unit.bytes;
-            let spec = CollectiveSpec::allreduce(bytes)
-                .with_algo(Algo::Ring)
-                .with_mode(self.cfg.mode);
+            let spec =
+                CollectiveSpec::allreduce(bytes).with_algo(Algo::Ring).with_mode(self.cfg.mode);
             let op = cx.coll.launch(cx.sim, cx.cluster, spec);
             self.inflight = Some((op, idx));
         }
@@ -102,14 +101,14 @@ impl DdpEngine {
 
 /// Buckets in reverse registration order (production order), 25 MB cap,
 /// tensors never split.
-fn build_buckets(
-    registry: &GradientRegistry,
-    world: usize,
-    cap: f64,
-) -> (Vec<Bucket>, Vec<usize>) {
+fn build_buckets(registry: &GradientRegistry, world: usize, cap: f64) -> (Vec<Bucket>, Vec<usize>) {
     let mut buckets: Vec<Bucket> = Vec::new();
     let mut grad_bucket = vec![0usize; registry.len()];
-    let mut cur = Bucket { unit: AllReduceUnit { segments: Vec::new(), bytes: 0.0 }, grads: Vec::new(), missing: 0 };
+    let mut cur = Bucket {
+        unit: AllReduceUnit { segments: Vec::new(), bytes: 0.0 },
+        grads: Vec::new(),
+        missing: 0,
+    };
     let mut ids: Vec<GradId> = registry.iter().map(|g| g.id).collect();
     ids.reverse();
     for id in ids {
@@ -146,7 +145,8 @@ impl DdlEngine for DdpEngine {
     }
 
     fn begin_iteration(&mut self, _cx: &mut DdlCtx<'_>, _iter: u64) {
-        let (buckets, grad_bucket) = build_buckets(&self.registry, self.world, self.cfg.bucket_bytes);
+        let (buckets, grad_bucket) =
+            build_buckets(&self.registry, self.world, self.cfg.bucket_bytes);
         self.buckets = buckets;
         self.grad_bucket = grad_bucket;
         self.tracker = ReduceTracker::new(&self.registry);

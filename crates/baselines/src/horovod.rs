@@ -11,10 +11,10 @@
 //! 2. NCCL executes ONE all-reduce at a time on ONE stream, so a single
 //!    capped TCP flow per NIC carries all gradient traffic.
 
+use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
 use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
 use aiacc_core::packing::{pack_units, AllReduceUnit, ReduceTracker};
 use aiacc_core::{GradientRegistry, SyncVector};
-use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
 use aiacc_dnn::{DType, GradId, ModelProfile};
 use aiacc_simnet::{SimDuration, Token};
 use serde::{Deserialize, Serialize};
@@ -173,8 +173,7 @@ impl DdlEngine for HorovodEngine {
         self.inflight = None;
         self.negotiation_busy = false;
         self.master_time = SimDuration::ZERO;
-        cx.sim
-            .schedule(self.cfg.cycle_time, Token::new(ENGINE_TIMER_KIND, TIMER_CYCLE, iter));
+        cx.sim.schedule(self.cfg.cycle_time, Token::new(ENGINE_TIMER_KIND, TIMER_CYCLE, iter));
     }
 
     fn on_grad_ready(&mut self, _cx: &mut DdlCtx<'_>, worker: usize, grad: GradId) {
@@ -197,10 +196,9 @@ impl DdlEngine for HorovodEngine {
             return;
         }
         match a {
-            TIMER_CYCLE
-                if !self.negotiation_busy => {
-                    self.run_cycle(cx);
-                }
+            TIMER_CYCLE if !self.negotiation_busy => {
+                self.run_cycle(cx);
+            }
             TIMER_NEGOTIATED => {
                 self.negotiation_busy = false;
                 self.queue.append(&mut self.staged);

@@ -6,23 +6,21 @@
 //! concentrates its entire volume on one server NIC — the hot-spot behaviour
 //! behind MXNet's lower throughput in Fig. 12.
 
+use aiacc_collectives::OpId;
 use aiacc_core::ddl::{DdlCtx, DdlEngine};
 use aiacc_core::packing::{AllReduceUnit, ReduceTracker, Segment};
 use aiacc_core::GradientRegistry;
-use aiacc_collectives::OpId;
 use aiacc_dnn::{DType, GradId, ModelProfile};
 use aiacc_simnet::FlowSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// KVStore tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct KvStoreConfig {
     /// Per-key server assignment stride (servers = one per node).
     pub seed: u64,
 }
-
 
 /// The MXNet KVStore baseline engine.
 #[derive(Debug)]
@@ -46,7 +44,14 @@ impl KvStoreEngine {
         let registry = GradientRegistry::from_profile(model, DType::F32);
         let votes = registry.iter().map(|_| world).collect();
         let tracker = ReduceTracker::new(&registry);
-        KvStoreEngine { cfg, registry, world, votes_missing: votes, tracker, inflight: HashMap::new() }
+        KvStoreEngine {
+            cfg,
+            registry,
+            world,
+            votes_missing: votes,
+            tracker,
+            inflight: HashMap::new(),
+        }
     }
 
     fn launch_key(&mut self, cx: &mut DdlCtx<'_>, grad: GradId) {
@@ -65,7 +70,8 @@ impl KvStoreEngine {
             let mut push = Vec::new();
             for r in 0..spec.world_size() {
                 push.push(
-                    FlowSpec::new(vec![cx.cluster.gpu_tx_resource(r)], info.bytes).with_latency(lat),
+                    FlowSpec::new(vec![cx.cluster.gpu_tx_resource(r)], info.bytes)
+                        .with_latency(lat),
                 );
             }
             VecDeque::from(vec![push.clone(), push])

@@ -3,8 +3,8 @@
 //! dependency — that crate sits above this one).
 
 use aiacc_baselines::{
-    BytePsConfig, BytePsEngine, DdpConfig, DdpEngine, HorovodConfig, HorovodEngine,
-    KvStoreConfig, KvStoreEngine,
+    BytePsConfig, BytePsEngine, DdpConfig, DdpEngine, HorovodConfig, HorovodEngine, KvStoreConfig,
+    KvStoreEngine,
 };
 use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel};
 use aiacc_collectives::CollectiveEngine;
@@ -88,6 +88,8 @@ fn drive(engine: &mut dyn DdlEngine, model: &ModelProfile, gpus: usize) -> f64 {
                     engine.on_collective_done(&mut cx, op);
                 }
             }
+            // No fault plan is installed in these tests.
+            Event::Fault(_) => {}
         }
         if busy == 0 && engine.comm_done() {
             return t.as_secs_f64();

@@ -11,24 +11,16 @@ fn figures(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("table1", |b| b.iter(|| black_box(table1_models().rows.len())));
-    group.bench_function("bandwidth", |b| {
-        b.iter(|| black_box(bandwidth_utilization().rows.len()))
-    });
+    group.bench_function("bandwidth", |b| b.iter(|| black_box(bandwidth_utilization().rows.len())));
     group.bench_function("fig2_quick", |b| {
         b.iter(|| black_box(fig2_motivation(QUICK_GPU_SWEEP).rows.len()))
     });
-    group.bench_function("fig9_quick", |b| {
-        b.iter(|| black_box(fig9_cv(&[8, 32]).rows.len()))
-    });
-    group.bench_function("fig10_quick", |b| {
-        b.iter(|| black_box(fig10_nlp(&[16]).rows.len()))
-    });
+    group.bench_function("fig9_quick", |b| b.iter(|| black_box(fig9_cv(&[8, 32]).rows.len())));
+    group.bench_function("fig10_quick", |b| b.iter(|| black_box(fig10_nlp(&[16]).rows.len())));
     group.bench_function("fig11_quick", |b| {
         b.iter(|| black_box(fig11_tensorflow(&[16]).rows.len()))
     });
-    group.bench_function("fig12_quick", |b| {
-        b.iter(|| black_box(fig12_mxnet(&[16]).rows.len()))
-    });
+    group.bench_function("fig12_quick", |b| b.iter(|| black_box(fig12_mxnet(&[16]).rows.len())));
     group.bench_function("fig13_quick", |b| {
         b.iter(|| black_box(fig13_hybrid(&[16, 32]).rows.len()))
     });

@@ -10,12 +10,10 @@ fn bench_rate_recompute(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut net = FlowNet::new();
-                let res: Vec<_> =
-                    (0..64).map(|i| net.add_resource(format!("r{i}"), 1e9)).collect();
+                let res: Vec<_> = (0..64).map(|i| net.add_resource(format!("r{i}"), 1e9)).collect();
                 for i in 0..256 {
                     net.start_flow(
-                        FlowSpec::new(vec![res[i % 64], res[(i + 1) % 64]], 1e8)
-                            .with_rate_cap(3e8),
+                        FlowSpec::new(vec![res[i % 64], res[(i + 1) % 64]], 1e8).with_rate_cap(3e8),
                     );
                 }
                 net

@@ -27,13 +27,9 @@ fn bench_optimizers(c: &mut Criterion) {
 
 fn bench_f16(c: &mut Criterion) {
     let vals: Vec<f32> = (0..N).map(|i| (i as f32 - 5e4) * 1e-3).collect();
-    c.bench_function("f16/compress_100k", |b| {
-        b.iter(|| black_box(f16::compress(&vals).len()))
-    });
+    c.bench_function("f16/compress_100k", |b| b.iter(|| black_box(f16::compress(&vals).len())));
     let wire = f16::compress(&vals);
-    c.bench_function("f16/decompress_100k", |b| {
-        b.iter(|| black_box(f16::decompress(&wire).len()))
-    });
+    c.bench_function("f16/decompress_100k", |b| b.iter(|| black_box(f16::decompress(&wire).len())));
 }
 
 fn bench_mlp(c: &mut Criterion) {

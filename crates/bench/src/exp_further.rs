@@ -54,11 +54,7 @@ pub fn bandwidth_utilization() -> Table {
         }
         sim.net_mut().advance_to(SimTime::from_secs_f64(0.001));
         let util = sim.net_mut().utilization(cluster.node_tx_resource(0));
-        t.push(vec![
-            streams.to_string(),
-            fnum(util),
-            fnum(util * 30.0),
-        ]);
+        t.push(vec![streams.to_string(), fnum(util), fnum(util * 30.0)]);
     }
     t
 }

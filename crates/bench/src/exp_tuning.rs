@@ -3,8 +3,8 @@
 use crate::report::{fnum, Table};
 use aiacc_autotune::{GridSearch, Searcher, Tuner, TuningSpace};
 use aiacc_cluster::{ClusterSpec, NicSpec, NodeSpec};
-use aiacc_core::AiaccConfig;
 use aiacc_collectives::Algo;
+use aiacc_core::AiaccConfig;
 use aiacc_dnn::zoo;
 use aiacc_trainer::tune::{tune_aiacc, SimObjective};
 use aiacc_trainer::{run_training_sim, EngineKind, TrainingSimConfig};
@@ -173,11 +173,7 @@ pub fn ablation_byteps_servers() -> Table {
             )
             .with_iterations(1, 2),
         );
-        t.push(vec![
-            extra.to_string(),
-            fnum(r.samples_per_sec),
-            fnum(r.samples_per_sec / aiacc),
-        ]);
+        t.push(vec![extra.to_string(), fnum(r.samples_per_sec), fnum(r.samples_per_sec / aiacc)]);
     }
     t
 }

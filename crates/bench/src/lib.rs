@@ -21,8 +21,7 @@ pub use exp_further::{
 pub use exp_overall::{fig10_nlp, fig11_tensorflow, fig12_mxnet, fig2_motivation, fig9_cv};
 pub use exp_tuning::{
     ablation_byteps_servers, ablation_flow_cap, ablation_granularity, ablation_meta_solver,
-    ablation_sync_scheme,
-    ablation_tree_vs_ring, tuning_report,
+    ablation_sync_scheme, ablation_tree_vs_ring, tuning_report,
 };
 pub use report::Table;
 

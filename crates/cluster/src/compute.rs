@@ -160,10 +160,7 @@ mod tests {
         let cm = ComputeModel::v100();
         let t = cm.iteration_timing(&zoo::resnet50(), 128, DType::F32);
         let imgs_per_sec = 128.0 / t.compute_total().as_secs_f64();
-        assert!(
-            (250.0..450.0).contains(&imgs_per_sec),
-            "got {imgs_per_sec} img/s"
-        );
+        assert!((250.0..450.0).contains(&imgs_per_sec), "got {imgs_per_sec} img/s");
     }
 
     #[test]

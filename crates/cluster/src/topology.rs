@@ -81,8 +81,17 @@ impl ClusterNet {
         let mut node_tx = Vec::with_capacity(spec.nodes);
         let mut node_rx = Vec::with_capacity(spec.nodes);
         for n in 0..spec.nodes {
-            node_tx.push(net.add_resource(format!("node{n}.nic.tx"), nic));
-            node_rx.push(net.add_resource(format!("node{n}.nic.rx"), nic));
+            let tx = net.add_resource(format!("node{n}.nic.tx"), nic);
+            let rx = net.add_resource(format!("node{n}.nic.rx"), nic);
+            // The single-stream ceiling is a *fraction* of the link (§III),
+            // so register it as a share on the resource: when fault injection
+            // degrades the NIC's capacity, every stream's ceiling shrinks
+            // proportionally. On a healthy link this coincides with the
+            // absolute per-flow rate cap the path specs carry.
+            net.set_flow_share(tx, Some(spec.node.nic.per_flow_cap));
+            net.set_flow_share(rx, Some(spec.node.nic.per_flow_cap));
+            node_tx.push(tx);
+            node_rx.push(rx);
         }
         ClusterNet { spec: spec.clone(), gpu_tx, gpu_rx, pcie_tx, pcie_rx, node_tx, node_rx }
     }

@@ -217,9 +217,7 @@ mod tests {
     use super::*;
 
     fn make_bufs(w: usize, len: usize) -> Vec<Vec<f32>> {
-        (0..w)
-            .map(|i| (0..len).map(|j| (i * len + j) as f32 * 0.5 + 1.0).collect())
-            .collect()
+        (0..w).map(|i| (0..len).map(|j| (i * len + j) as f32 * 0.5 + 1.0).collect()).collect()
     }
 
     fn expected_sum(bufs: &[Vec<f32>]) -> Vec<f32> {

@@ -179,11 +179,7 @@ impl CollectiveEngine {
     ///
     /// # Panics
     /// Panics if `phases` is empty or contains an empty phase.
-    pub fn launch_custom(
-        &mut self,
-        sim: &mut Simulator,
-        phases: VecDeque<Vec<FlowSpec>>,
-    ) -> OpId {
+    pub fn launch_custom(&mut self, sim: &mut Simulator, phases: VecDeque<Vec<FlowSpec>>) -> OpId {
         assert!(!phases.is_empty(), "custom op needs at least one phase");
         assert!(phases.iter().all(|p| !p.is_empty()), "empty phase in custom op");
         let id = self.next_id;
@@ -192,6 +188,34 @@ impl CollectiveEngine {
         self.start_next_phase(sim, id, &mut state);
         self.ops.insert(id, state);
         OpId(id)
+    }
+
+    /// Aborts a collective: its in-flight flows are cancelled on the network
+    /// and the operation forgets its remaining phases. Returns `false` when
+    /// the operation is unknown (already finished or never launched). Used by
+    /// engine watchdogs to resubmit work stalled on a faulted link.
+    pub fn cancel_op(&mut self, sim: &mut Simulator, op: OpId) -> bool {
+        if self.ops.remove(&op.0).is_none() {
+            return false;
+        }
+        let flows: Vec<FlowId> =
+            self.flow_to_op.iter().filter(|&(_, &o)| o == op.0).map(|(&f, _)| f).collect();
+        for f in flows {
+            self.flow_to_op.remove(&f);
+            sim.net_mut().cancel_flow(f);
+        }
+        true
+    }
+
+    /// Aborts every active operation and cancels their flows — the big
+    /// hammer for a simulated node crash, where the whole synchronous job
+    /// restarts and nothing in flight can be salvaged.
+    pub fn cancel_all(&mut self, sim: &mut Simulator) {
+        for (&f, _) in self.flow_to_op.iter() {
+            sim.net_mut().cancel_flow(f);
+        }
+        self.flow_to_op.clear();
+        self.ops.clear();
     }
 
     /// Routes a flow completion. Returns the operation id when this
@@ -408,11 +432,7 @@ mod tests {
         // 2 nodes × 8 GPUs, 100 MB per worker, single stream:
         // per-NIC bytes = 2·15/16 · 1e8 = 1.875e8 at the 1.125 GB/s cap.
         let (mut sim, cluster, mut eng) = setup(16);
-        eng.launch(
-            &mut sim,
-            &cluster,
-            CollectiveSpec::allreduce(1e8).with_mode(RingMode::Coarse),
-        );
+        eng.launch(&mut sim, &cluster, CollectiveSpec::allreduce(1e8).with_mode(RingMode::Coarse));
         let done = run_to_completion(&mut sim, &mut eng);
         let t = done[0].0;
         let expect = 2.0 * 15.0 / 16.0 * 1e8 / 1.125e9 + 30.0 * 25e-6;
@@ -437,10 +457,7 @@ mod tests {
             CollectiveSpec::allreduce(bytes).with_mode(RingMode::Coarse),
         );
         let tb = run_to_completion(&mut sim_b, &mut eng_b)[0].0;
-        assert!(
-            (ta - tb).abs() / ta < 0.15,
-            "stepwise {ta} vs coarse {tb} diverge"
-        );
+        assert!((ta - tb).abs() / ta < 0.15, "stepwise {ta} vs coarse {tb} diverge");
     }
 
     #[test]
@@ -520,11 +537,7 @@ mod tests {
     #[test]
     fn intra_node_ring_uses_nvlink_speed() {
         let (mut sim, cluster, mut eng) = setup(8);
-        eng.launch(
-            &mut sim,
-            &cluster,
-            CollectiveSpec::allreduce(1e9).with_mode(RingMode::Coarse),
-        );
+        eng.launch(&mut sim, &cluster, CollectiveSpec::allreduce(1e9).with_mode(RingMode::Coarse));
         let done = run_to_completion(&mut sim, &mut eng);
         // 2·7/8·1e9 = 1.75e9 bytes at 150 GB/s ≈ 11.7 ms.
         let t = done[0].0;
@@ -565,11 +578,7 @@ mod tests {
         let mut sim = Simulator::new();
         let cluster = ClusterNet::build(&ClusterSpec::rdma_v100(16), sim.net_mut());
         let mut eng = CollectiveEngine::new();
-        eng.launch(
-            &mut sim,
-            &cluster,
-            CollectiveSpec::allreduce(1e8).with_mode(RingMode::Coarse),
-        );
+        eng.launch(&mut sim, &cluster, CollectiveSpec::allreduce(1e8).with_mode(RingMode::Coarse));
         let done = run_to_completion(&mut sim, &mut eng);
         let t = done[0].0;
         // Single stream on RDMA: 10 % of 12.5 GB/s = 1.25 GB/s.

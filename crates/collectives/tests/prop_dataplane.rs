@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 fn bufs_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
     (1usize..9, 0usize..50).prop_flat_map(|(w, len)| {
-        prop::collection::vec(
-            prop::collection::vec(-100.0f32..100.0, len..=len),
-            w..=w,
-        )
+        prop::collection::vec(prop::collection::vec(-100.0f32..100.0, len..=len), w..=w)
     })
 }
 
@@ -50,7 +47,7 @@ proptest! {
         let mut ring = bufs.clone();
         ring_allreduce(&mut ring, ReduceOp::Sum);
         for g in 1..=w {
-            if w % g != 0 {
+            if !w.is_multiple_of(g) {
                 continue;
             }
             let mut tree = bufs.clone();

@@ -14,7 +14,7 @@
 use aiacc_cluster::ClusterNet;
 use aiacc_collectives::{CollectiveEngine, OpId};
 use aiacc_dnn::GradId;
-use aiacc_simnet::Simulator;
+use aiacc_simnet::{FaultRecord, Simulator};
 
 /// Token `kind` reserved for engine timers; the training loop routes these
 /// to [`DdlEngine::on_timer`].
@@ -58,6 +58,15 @@ pub trait DdlEngine {
     /// A timer this engine scheduled (token kind [`ENGINE_TIMER_KIND`]) has
     /// fired, with the token's `a`/`b` payload.
     fn on_timer(&mut self, cx: &mut DdlCtx<'_>, a: u32, b: u64);
+
+    /// A link fault was applied or lifted on the simulated network. The
+    /// capacity change itself has already happened; engines may react (e.g.
+    /// shrink their stream pool while a NIC is degraded). The default
+    /// ignores faults — baselines without degradation handling keep their
+    /// behavior.
+    fn on_fault(&mut self, cx: &mut DdlCtx<'_>, record: &FaultRecord) {
+        let _ = (cx, record);
+    }
 
     /// `true` once every registered gradient has been aggregated across all
     /// workers for the current iteration.

@@ -22,12 +22,15 @@ use crate::syncvec::SyncVector;
 use aiacc_collectives::timing::sync_round_latency;
 use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
 use aiacc_dnn::{DType, GradId, ModelProfile};
-use aiacc_simnet::Token;
+use aiacc_simnet::{FaultRecord, SimDuration, Token};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Timer code: a sync round finished.
 const TIMER_SYNC_DONE: u32 = 0;
+
+/// Timer code: watchdog check on a dispatched all-reduce unit.
+const TIMER_UNIT_STALL: u32 = 1;
 
 /// Tunable communication hyper-parameters — exactly the knobs the
 /// auto-tuner of §VI searches over.
@@ -44,6 +47,11 @@ pub struct AiaccConfig {
     pub mode: RingMode,
     /// Compress gradients to fp16 on the wire (§X).
     pub compression: bool,
+    /// Stall watchdog: if a dispatched unit has not completed after this
+    /// long, cancel it and resubmit on a fresh stream (doubling the timeout
+    /// each retry). `None` disables the watchdog — the default, since on a
+    /// healthy network a resubmission can only lose work.
+    pub stall_timeout: Option<SimDuration>,
 }
 
 impl Default for AiaccConfig {
@@ -57,6 +65,7 @@ impl Default for AiaccConfig {
             algo: Algo::Ring,
             mode: RingMode::Auto,
             compression: false,
+            stall_timeout: None,
         }
     }
 }
@@ -100,6 +109,16 @@ impl AiaccConfig {
         self
     }
 
+    /// Enables the unit stall watchdog with the given base timeout.
+    ///
+    /// # Panics
+    /// Panics if `timeout` is zero.
+    pub fn with_stall_timeout(mut self, timeout: SimDuration) -> Self {
+        assert!(timeout > SimDuration::ZERO, "stall timeout must be positive");
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
     /// The wire dtype implied by the compression flag.
     pub fn wire_dtype(self) -> DType {
         if self.compression {
@@ -120,6 +139,16 @@ pub struct AiaccStats {
     pub units_launched: u64,
     /// Highest number of simultaneously active streams observed.
     pub peak_streams: usize,
+    /// Units cancelled and resubmitted by the stall watchdog.
+    pub resubmissions: u64,
+}
+
+/// A dispatched unit plus its watchdog state.
+#[derive(Debug)]
+struct InflightUnit {
+    unit: AllReduceUnit,
+    /// Times this unit has been (re)submitted; scales the watchdog timeout.
+    attempts: u32,
 }
 
 /// The AIACC-Training communication engine (timing plane).
@@ -128,6 +157,13 @@ pub struct AiaccEngine {
     cfg: AiaccConfig,
     registry: GradientRegistry,
     world: usize,
+    /// Per-NIC health observed from fault records: resource → (baseline
+    /// capacity, current capacity). Persists across iterations — a degraded
+    /// link stays degraded until its restore record arrives.
+    link_health: HashMap<u32, (f64, f64)>,
+    /// Worst current/baseline capacity ratio across observed links; scales
+    /// the stream pool (a degraded NIC supports fewer useful streams).
+    nic_scale: f64,
     // Per-iteration state:
     iter: u64,
     ready: Vec<SyncVector>,
@@ -135,7 +171,7 @@ pub struct AiaccEngine {
     unsynced_bytes: Vec<f64>,
     tracker: ReduceTracker,
     queue: VecDeque<AllReduceUnit>,
-    inflight: HashMap<OpId, AllReduceUnit>,
+    inflight: HashMap<OpId, InflightUnit>,
     sync_in_flight: bool,
     backward_done: Vec<bool>,
     stats: AiaccStats,
@@ -155,6 +191,8 @@ impl AiaccEngine {
             cfg,
             registry,
             world,
+            link_health: HashMap::new(),
+            nic_scale: 1.0,
             iter: 0,
             ready: vec![SyncVector::new(n); world],
             synced: SyncVector::new(n),
@@ -239,19 +277,51 @@ impl AiaccEngine {
         self.maybe_trigger_sync(cx);
     }
 
+    /// The stream pool size under current link health: a NIC at half
+    /// capacity sustains proportionally fewer useful concurrent streams, so
+    /// the pool shrinks with it (and grows back on restore).
+    fn scaled_pool(&self) -> usize {
+        if self.nic_scale >= 1.0 {
+            self.cfg.streams
+        } else {
+            ((self.cfg.streams as f64 * self.nic_scale).ceil() as usize).max(1)
+        }
+    }
+
     /// Fills the stream pool up to the current budget (Algorithm 1, l. 4–10).
     fn dispatch(&mut self, cx: &mut DdlCtx<'_>) {
-        let limit = self.cfg.streams.min(cx.max_streams_now).max(1);
+        let limit = self.scaled_pool().min(cx.max_streams_now).max(1);
         while self.inflight.len() < limit {
             let Some(unit) = self.queue.pop_front() else { break };
-            let spec = CollectiveSpec::allreduce(unit.bytes)
-                .with_algo(self.cfg.algo)
-                .with_mode(self.cfg.mode);
-            let op = cx.coll.launch(cx.sim, cx.cluster, spec);
-            self.inflight.insert(op, unit);
-            self.stats.units_launched += 1;
+            self.submit(cx, unit, 0);
         }
         self.stats.peak_streams = self.stats.peak_streams.max(self.inflight.len());
+    }
+
+    /// Launches one unit as a collective and arms its stall watchdog.
+    fn submit(&mut self, cx: &mut DdlCtx<'_>, unit: AllReduceUnit, attempts: u32) {
+        let spec =
+            CollectiveSpec::allreduce(unit.bytes).with_algo(self.cfg.algo).with_mode(self.cfg.mode);
+        let op = cx.coll.launch(cx.sim, cx.cluster, spec);
+        if let Some(base) = self.cfg.stall_timeout {
+            // Exponential backoff: each retry waits twice as long before
+            // declaring the unit stalled again.
+            let timeout = base.mul_f64(f64::from(1u32 << attempts.min(16)));
+            cx.sim.schedule(timeout, Token::new(ENGINE_TIMER_KIND, TIMER_UNIT_STALL, op.0));
+        }
+        self.inflight.insert(op, InflightUnit { unit, attempts });
+        self.stats.units_launched += 1;
+    }
+
+    /// Watchdog expiry for `op`: if it is still in flight, cancel it and
+    /// resubmit the unit (its flows may be starved on a downed link).
+    fn on_unit_stall(&mut self, cx: &mut DdlCtx<'_>, op: OpId) {
+        let Some(inflight) = self.inflight.remove(&op) else {
+            return; // completed before the watchdog fired
+        };
+        cx.coll.cancel_op(cx.sim, op);
+        self.stats.resubmissions += 1;
+        self.submit(cx, inflight.unit, inflight.attempts + 1);
     }
 }
 
@@ -297,18 +367,33 @@ impl DdlEngine for AiaccEngine {
     }
 
     fn on_collective_done(&mut self, cx: &mut DdlCtx<'_>, op: OpId) {
-        let unit = self
-            .inflight
-            .remove(&op)
-            .expect("collective completion for unknown unit");
-        self.tracker.complete_unit(&unit);
+        let inflight = self.inflight.remove(&op).expect("collective completion for unknown unit");
+        self.tracker.complete_unit(&inflight.unit);
         self.dispatch(cx);
     }
 
     fn on_timer(&mut self, cx: &mut DdlCtx<'_>, a: u32, b: u64) {
-        if a == TIMER_SYNC_DONE && b == self.iter {
-            self.finish_sync(cx);
+        match a {
+            TIMER_SYNC_DONE if b == self.iter => self.finish_sync(cx),
+            TIMER_UNIT_STALL => self.on_unit_stall(cx, OpId(b)),
+            _ => {}
         }
+    }
+
+    fn on_fault(&mut self, cx: &mut DdlCtx<'_>, record: &FaultRecord) {
+        let entry = self
+            .link_health
+            .entry(record.resource.as_u32())
+            // The first record's pre-fault capacity is the healthy baseline.
+            .or_insert((record.capacity_before, record.capacity_before));
+        entry.1 = record.capacity_after;
+        self.nic_scale = self
+            .link_health
+            .values()
+            .map(|&(base, cur)| if base > 0.0 { cur / base } else { 1.0 })
+            .fold(1.0, f64::min);
+        // A restore may have grown the pool: top it up immediately.
+        self.dispatch(cx);
     }
 
     fn comm_done(&self) -> bool {
@@ -391,6 +476,7 @@ mod tests {
                         eng.on_collective_done(&mut cx2, op);
                     }
                 }
+                Event::Fault(rec) => eng.on_fault(&mut cx, &rec),
             }
             if eng.comm_done() {
                 t_done = t.as_secs_f64();
@@ -425,10 +511,7 @@ mod tests {
         // must show the paper's multi-stream speedup.
         let (t1, _) = drive(&zoo::vgg16(), 16, AiaccConfig::default().with_streams(1));
         let (t8, _) = drive(&zoo::vgg16(), 16, AiaccConfig::default().with_streams(8));
-        assert!(
-            t8 < t1 * 0.7,
-            "8 streams ({t8}s) should be much faster than 1 ({t1}s)"
-        );
+        assert!(t8 < t1 * 0.7, "8 streams ({t8}s) should be much faster than 1 ({t1}s)");
         // With 8 streams the communication is fully hidden behind compute:
         // the finish time sits at the compute floor (fwd + bwd ≈ 0.69 s).
         assert!(t8 < 0.78, "8-stream time {t8}s did not reach the compute floor");

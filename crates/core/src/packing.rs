@@ -51,10 +51,7 @@ pub fn pack_units(
     ready: impl IntoIterator<Item = GradId>,
     granularity_bytes: f64,
 ) -> (Vec<AllReduceUnit>, Option<AllReduceUnit>) {
-    assert!(
-        granularity_bytes > 0.0 && granularity_bytes.is_finite(),
-        "invalid granularity"
-    );
+    assert!(granularity_bytes > 0.0 && granularity_bytes.is_finite(), "invalid granularity");
     let bytes_per_elem = registry.dtype().bytes_per_elem() as f64;
     let gran_elems = (granularity_bytes / bytes_per_elem).floor().max(1.0) as usize;
 
@@ -199,8 +196,8 @@ mod tests {
         let (full, partial) = pack_units(&reg, (0..4).map(GradId), 4.0 * 256.0);
         // 1020 elements total, units of 256: 3 full + 252 partial.
         assert_eq!(full.len(), 3);
-        let total: usize =
-            full.iter().map(AllReduceUnit::elems).sum::<usize>() + partial.as_ref().unwrap().elems();
+        let total: usize = full.iter().map(AllReduceUnit::elems).sum::<usize>()
+            + partial.as_ref().unwrap().elems();
         assert_eq!(total, 1020);
         // Units cover gradient ids in order: first unit starts with grad 0.
         assert_eq!(full[0].segments[0].grad, GradId(0));
@@ -209,8 +206,7 @@ mod tests {
     #[test]
     fn duplicate_and_unordered_ids_are_normalized() {
         let reg = registry(&[5, 5]);
-        let (_, partial) =
-            pack_units(&reg, vec![GradId(1), GradId(0), GradId(1)], 1e6);
+        let (_, partial) = pack_units(&reg, vec![GradId(1), GradId(0), GradId(1)], 1e6);
         let p = partial.unwrap();
         assert_eq!(p.segments.len(), 2);
         assert_eq!(p.segments[0].grad, GradId(0));

@@ -152,8 +152,7 @@ impl Perseus {
         let (mut units, partial) = pack_units(&self.registry, all_ids, self.cfg.granularity);
         units.extend(partial);
 
-        let mut out: Vec<Vec<f32>> =
-            self.registry.iter().map(|g| vec![0.0; g.elems]).collect();
+        let mut out: Vec<Vec<f32>> = self.registry.iter().map(|g| vec![0.0; g.elems]).collect();
 
         for unit in &units {
             // Gather each worker's unit payload.

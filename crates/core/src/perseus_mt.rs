@@ -84,16 +84,16 @@ pub fn perseus_world(layout: &[(String, usize)], cfg: PerseusConfig) -> Vec<Pers
 
     thread::spawn(move || coordinator_loop(session, rx, world));
 
-    (0..world)
-        .map(|rank| PerseusHandle { rank, world, to_coordinator: tx.clone() })
-        .collect()
+    (0..world).map(|rank| PerseusHandle { rank, world, to_coordinator: tx.clone() }).collect()
 }
+
+/// One rank's submitted gradients plus the channel to send its share back on.
+type PendingSubmit = (Vec<Vec<f32>>, Sender<Vec<Vec<f32>>>);
 
 fn coordinator_loop(session: Perseus, rx: Receiver<Msg>, world: usize) {
     loop {
         // Gather exactly one submission per rank for this round.
-        let mut pending: Vec<Option<(Vec<Vec<f32>>, Sender<Vec<Vec<f32>>>)>> =
-            (0..world).map(|_| None).collect();
+        let mut pending: Vec<Option<PendingSubmit>> = (0..world).map(|_| None).collect();
         let mut received = 0;
         while received < world {
             let Ok(Msg::Submit { rank, grads, reply }) = rx.recv() else {

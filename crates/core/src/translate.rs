@@ -61,9 +61,7 @@ pub struct Translation {
 pub fn translate_pytorch(source: &str) -> Translation {
     let kind = detect(source);
     match kind {
-        ScriptKind::Perseus => {
-            Translation { source: source.to_string(), kind, edits: Vec::new() }
-        }
+        ScriptKind::Perseus => Translation { source: source.to_string(), kind, edits: Vec::new() },
         ScriptKind::Horovod => swap_horovod_import(source),
         ScriptKind::Sequential => inject_distributed(source),
     }
@@ -89,7 +87,11 @@ fn swap_horovod_import(source: &str) -> Translation {
             out.push(format!("{indent}import perseus.{rest}"));
             edits.push(Edit {
                 line: i + 1,
-                what: format!("swapped import: horovod.{} → perseus.{}", first_word(rest), first_word(rest)),
+                what: format!(
+                    "swapped import: horovod.{} → perseus.{}",
+                    first_word(rest),
+                    first_word(rest)
+                ),
             });
         } else if line.trim_start().starts_with("import horovod") {
             let indent = &line[..line.len() - line.trim_start().len()];
@@ -117,12 +119,12 @@ fn inject_distributed(source: &str) -> Translation {
         out.push(line.to_string());
 
         // After the torch import: bring in Perseus and initialize.
-        if !injected_init && (trimmed.starts_with("import torch") || trimmed.starts_with("from torch")) {
+        if !injected_init
+            && (trimmed.starts_with("import torch") || trimmed.starts_with("from torch"))
+        {
             out.push(format!("{indent}import perseus.torch as perseus"));
             out.push(format!("{indent}perseus.init()"));
-            out.push(format!(
-                "{indent}torch.cuda.set_device(perseus.local_rank())"
-            ));
+            out.push(format!("{indent}torch.cuda.set_device(perseus.local_rank())"));
             edits.push(Edit {
                 line: i + 1,
                 what: "injected perseus import, init() and device pinning".into(),
@@ -134,9 +136,7 @@ fn inject_distributed(source: &str) -> Translation {
         if trimmed.contains("optim.") && trimmed.contains('=') && !trimmed.starts_with('#') {
             if let Some(var) = trimmed.split('=').next().map(str::trim) {
                 if !var.is_empty() && var.chars().all(|c| c.is_alphanumeric() || c == '_') {
-                    out.push(format!(
-                        "{indent}{var} = perseus.DistributedOptimizer({var})"
-                    ));
+                    out.push(format!("{indent}{var} = perseus.DistributedOptimizer({var})"));
                     out.push(format!(
                         "{indent}perseus.broadcast_parameters(model.state_dict(), root_rank=0)"
                     ));

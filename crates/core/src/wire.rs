@@ -144,7 +144,7 @@ pub fn decode_frame(mut buf: &[u8]) -> Result<Frame, DecodeWireError> {
     }
     let elem_bytes = dtype.bytes_per_elem();
     let actual = buf.remaining() / elem_bytes;
-    if buf.remaining() % elem_bytes != 0 || actual < declared {
+    if !buf.remaining().is_multiple_of(elem_bytes) || actual < declared {
         return Err(DecodeWireError::Truncated);
     }
     if actual != declared {

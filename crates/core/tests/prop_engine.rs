@@ -60,36 +60,49 @@ fn drive_random(
         } else {
             cm.max_comm_streams_idle()
         };
-        let mut cx = DdlCtx {
-            sim: &mut sim,
-            coll: &mut coll,
-            cluster: &cluster,
-            max_streams_now: streams,
-        };
         match ev {
             Event::Timer(tok) if tok.kind == GRAD_KIND => {
+                let mut cx = DdlCtx {
+                    sim: &mut sim,
+                    coll: &mut coll,
+                    cluster: &cluster,
+                    max_streams_now: streams,
+                };
                 eng.on_grad_ready(&mut cx, tok.a as usize, GradId(tok.b as u32));
             }
             Event::Timer(tok) if tok.kind == BWD_KIND => {
                 busy -= 1;
+                let mut cx = DdlCtx {
+                    sim: &mut sim,
+                    coll: &mut coll,
+                    cluster: &cluster,
+                    max_streams_now: streams,
+                };
                 eng.on_backward_done(&mut cx, tok.a as usize);
             }
             Event::Timer(tok) if tok.kind == ENGINE_TIMER_KIND => {
+                let mut cx = DdlCtx {
+                    sim: &mut sim,
+                    coll: &mut coll,
+                    cluster: &cluster,
+                    max_streams_now: streams,
+                };
                 eng.on_timer(&mut cx, tok.a, tok.b);
             }
             Event::Timer(_) => {}
             Event::FlowCompleted(f) => {
-                drop(cx);
                 if let Some(op) = coll.on_flow_completed(&mut sim, f) {
-                    let mut cx2 = DdlCtx {
+                    let mut cx = DdlCtx {
                         sim: &mut sim,
                         coll: &mut coll,
                         cluster: &cluster,
                         max_streams_now: streams,
                     };
-                    eng.on_collective_done(&mut cx2, op);
+                    eng.on_collective_done(&mut cx, op);
                 }
             }
+            // No fault plan is installed in these tests.
+            Event::Fault(_) => {}
         }
         if busy == 0 && eng.comm_done() {
             let stats = eng.stats();
@@ -100,10 +113,7 @@ fn drive_random(
 
 fn schedules(gpus: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
     let n_grads = zoo::tiny_cnn().num_gradients();
-    prop::collection::vec(
-        prop::collection::vec(0u64..50_000_000, n_grads..=n_grads),
-        gpus..=gpus,
-    )
+    prop::collection::vec(prop::collection::vec(0u64..50_000_000, n_grads..=n_grads), gpus..=gpus)
 }
 
 proptest! {

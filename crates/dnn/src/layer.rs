@@ -69,10 +69,7 @@ impl LayerSpec {
         params: Vec<ParamSpec>,
         fwd_flops_per_sample: f64,
     ) -> Self {
-        assert!(
-            fwd_flops_per_sample.is_finite() && fwd_flops_per_sample >= 0.0,
-            "invalid flops"
-        );
+        assert!(fwd_flops_per_sample.is_finite() && fwd_flops_per_sample >= 0.0, "invalid flops");
         LayerSpec { name: name.into(), kind, params, fwd_flops_per_sample }
     }
 

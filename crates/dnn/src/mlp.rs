@@ -63,9 +63,7 @@ impl Mlp {
         for w in config.layer_sizes.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
             let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
-            weights.push(
-                (0..fan_in * fan_out).map(|_| rng.random_range(-bound..bound)).collect(),
-            );
+            weights.push((0..fan_in * fan_out).map(|_| rng.random_range(-bound..bound)).collect());
             biases.push(vec![0.0; fan_out]);
         }
         Mlp { sizes: config.layer_sizes.clone(), weights, biases }
@@ -304,10 +302,7 @@ impl Mlp {
             layers.push(LayerSpec::new(
                 format!("fc{l}"),
                 LayerKind::Dense,
-                vec![
-                    ParamSpec::new("weight", vec![dout, din]),
-                    ParamSpec::new("bias", vec![dout]),
-                ],
+                vec![ParamSpec::new("weight", vec![dout, din]), ParamSpec::new("bias", vec![dout])],
                 2.0 * (din * dout) as f64,
             ));
         }

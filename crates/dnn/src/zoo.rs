@@ -31,10 +31,7 @@ fn conv(name: &str, cin: usize, cout: usize, k: usize, out_hw: usize) -> LayerSp
     LayerSpec::new(
         name,
         LayerKind::Conv2d,
-        vec![
-            ParamSpec::new("weight", vec![cout, cin, k, k]),
-            ParamSpec::new("bias", vec![cout]),
-        ],
+        vec![ParamSpec::new("weight", vec![cout, cin, k, k]), ParamSpec::new("bias", vec![cout])],
         flops,
     )
 }
@@ -184,7 +181,15 @@ fn resnet(name: &str, stage_blocks: [usize; 4], batch: usize) -> ModelProfile {
     let hws = [56, 28, 14, 7];
     let mut cin = 64;
     for s in 0..4 {
-        resnet_stage(&format!("layer{}", s + 1), stage_blocks[s], cin, widths[s], couts[s], hws[s], &mut layers);
+        resnet_stage(
+            &format!("layer{}", s + 1),
+            stage_blocks[s],
+            cin,
+            widths[s],
+            couts[s],
+            hws[s],
+            &mut layers,
+        );
         cin = couts[s];
     }
     layers.push(dense("fc", 2048, 1000));
@@ -302,12 +307,8 @@ pub fn gpt2_xl() -> ModelProfile {
 /// classifier, tripling the communicated volume versus plain ResNet-50.
 pub fn insightface_r50() -> ModelProfile {
     let base = resnet("insightface_r50_backbone", [3, 4, 6, 3], 128);
-    let mut layers: Vec<LayerSpec> = base
-        .layers()
-        .iter()
-        .filter(|l| l.name != "fc")
-        .cloned()
-        .collect();
+    let mut layers: Vec<LayerSpec> =
+        base.layers().iter().filter(|l| l.name != "fc").cloned().collect();
     layers.push(dense("embedding_fc", 2048, 512));
     layers.push(dense("margin_fc", 512, 93431));
     ModelProfile::new("insightface_r50", layers, SampleUnit::Images, 0.60, 128)
@@ -399,7 +400,7 @@ mod tests {
     #[test]
     fn resnet50_matches_table1_params() {
         let m = resnet50();
-        assert!((mparams(&m) - 25.6) .abs() < 1.0, "got {}M", mparams(&m));
+        assert!((mparams(&m) - 25.6).abs() < 1.0, "got {}M", mparams(&m));
         // ~8.2G structural FLOPs (Table I lists 4G = MACs).
         let g = m.fwd_flops_per_sample() / 1e9;
         assert!((g - 8.2).abs() < 1.0, "got {g}G");

@@ -50,12 +50,7 @@ pub fn find_non_finite(
         for (i, &v) in values.iter().enumerate() {
             if !v.is_finite() {
                 if out.len() < max_reports {
-                    out.push(NonFiniteReport {
-                        grad: *id,
-                        name: name.clone(),
-                        index: i,
-                        value: v,
-                    });
+                    out.push(NonFiniteReport { grad: *id, name: name.clone(), index: i, value: v });
                 } else {
                     return out;
                 }

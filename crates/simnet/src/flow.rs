@@ -103,9 +103,8 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let s = FlowSpec::new(vec![], 10.0)
-            .with_rate_cap(5.0)
-            .with_latency(SimDuration::from_nanos(7));
+        let s =
+            FlowSpec::new(vec![], 10.0).with_rate_cap(5.0).with_latency(SimDuration::from_nanos(7));
         assert_eq!(s.rate_cap, Some(5.0));
         assert_eq!(s.latency.as_nanos(), 7);
     }

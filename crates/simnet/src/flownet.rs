@@ -16,6 +16,13 @@ impl ResourceId {
     pub const fn as_u32(self) -> u32 {
         self.0
     }
+
+    /// Test-only constructor; ids are normally minted by
+    /// [`FlowNet::add_resource`].
+    #[cfg(test)]
+    pub(crate) const fn from_index(i: u32) -> Self {
+        ResourceId(i)
+    }
 }
 
 impl fmt::Display for ResourceId {
@@ -29,8 +36,17 @@ impl fmt::Display for ResourceId {
 pub struct Resource {
     /// Human-readable name used in diagnostics.
     pub name: String,
-    /// Capacity in bytes/second. Always strictly positive.
+    /// Capacity in bytes/second. Strictly positive at creation; fault
+    /// injection may scale it down to zero (link down) at runtime via
+    /// [`FlowNet::set_capacity`].
     pub capacity: f64,
+    /// Optional per-flow share: any single flow crossing this resource is
+    /// individually limited to `share × capacity` bytes/second. Unlike a
+    /// [`FlowSpec::rate_cap`] (absolute), this limit tracks the *current*
+    /// capacity, so a degraded NIC also degrades each stream's ceiling —
+    /// the paper's single-stream cap (§III) expressed as a property of the
+    /// link rather than the flow.
+    pub flow_share: Option<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -95,9 +111,43 @@ impl FlowNet {
     pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
         assert!(capacity.is_finite() && capacity > 0.0, "invalid capacity: {capacity}");
         let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
-        self.resources.push(Resource { name: name.into(), capacity });
+        self.resources.push(Resource { name: name.into(), capacity, flow_share: None });
         self.carried.push(0.0);
         id
+    }
+
+    /// Limits every individual flow crossing `id` to `share × capacity`
+    /// bytes/second (`None` removes the limit). The limit follows later
+    /// capacity changes — see [`Resource::flow_share`].
+    ///
+    /// # Panics
+    /// Panics if `share` is not in `(0, 1]`.
+    pub fn set_flow_share(&mut self, id: ResourceId, share: Option<f64>) {
+        if let Some(s) = share {
+            assert!(s.is_finite() && s > 0.0 && s <= 1.0, "invalid flow share: {s}");
+        }
+        self.resources[id.0 as usize].flow_share = share;
+        self.rates_valid = false;
+    }
+
+    /// Sets the capacity of `id` to `capacity` bytes/second, effective at
+    /// the current virtual time, and re-solves max-min rates for all flows
+    /// in progress. A capacity of `0` models a downed link: flows crossing
+    /// it stall (rate 0) until capacity is restored.
+    ///
+    /// Bytes already moved are unaffected; only the allocation that holds
+    /// from `now` onward changes. This is the mutation hook used by the
+    /// fault-injection layer ([`crate::faults`]).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative, NaN or infinite.
+    pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
+        assert!(capacity.is_finite() && capacity >= 0.0, "invalid capacity: {capacity}");
+        let res = &mut self.resources[id.0 as usize];
+        if res.capacity != capacity {
+            res.capacity = capacity;
+            self.rates_valid = false;
+        }
     }
 
     /// Cumulative bytes this resource has carried since simulation start —
@@ -140,10 +190,7 @@ impl FlowNet {
         let activates_at = self.now + spec.latency;
         let active = spec.latency.as_nanos() == 0;
         let remaining = spec.bytes;
-        self.flows.insert(
-            id.0,
-            FlowState { spec, remaining, rate: 0.0, activates_at, active },
-        );
+        self.flows.insert(id.0, FlowState { spec, remaining, rate: 0.0, activates_at, active });
         self.rates_valid = false;
         id
     }
@@ -169,13 +216,18 @@ impl FlowNet {
     /// micro-benchmark.
     pub fn utilization(&mut self, id: ResourceId) -> f64 {
         self.recompute_if_dirty();
+        let capacity = self.resources[id.0 as usize].capacity;
+        if capacity <= 0.0 {
+            // A downed link carries nothing by construction.
+            return 0.0;
+        }
         let total: f64 = self
             .flows
             .values()
             .filter(|f| f.active && f.spec.path.contains(&id))
             .map(|f| f.rate)
             .sum();
-        total / self.resources[id.0 as usize].capacity
+        total / capacity
     }
 
     /// The next instant at which the network state changes: a flow activates
@@ -251,8 +303,7 @@ impl FlowNet {
             .flows
             .iter()
             .filter(|(_, st)| {
-                st.active
-                    && (st.remaining <= self.completion_eps(st.rate) || st.rate.is_infinite())
+                st.active && (st.remaining <= self.completion_eps(st.rate) || st.rate.is_infinite())
             })
             .map(|(&id, _)| id)
             .collect();
@@ -293,6 +344,22 @@ impl FlowNet {
         self.rates_valid = true;
     }
 
+    /// The rate ceiling for one flow: its own [`FlowSpec::rate_cap`]
+    /// combined with every per-flow share limit on its path. Share limits
+    /// track the *current* capacity, so capacity mutation (fault
+    /// injection) tightens them automatically.
+    fn effective_cap(&self, st: &FlowState) -> Option<f64> {
+        let mut cap = st.spec.rate_cap;
+        for r in &st.spec.path {
+            let res = &self.resources[r.0 as usize];
+            if let Some(share) = res.flow_share {
+                let limit = share * res.capacity;
+                cap = Some(cap.map_or(limit, |c| c.min(limit)));
+            }
+        }
+        cap
+    }
+
     /// Progressive-filling max-min fairness with per-flow caps.
     fn recompute_rates(&mut self) {
         let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
@@ -304,6 +371,8 @@ impl FlowNet {
                 unfrozen.push(id);
             }
         }
+        let eff_caps: BTreeMap<u64, Option<f64>> =
+            unfrozen.iter().map(|&id| (id, self.effective_cap(&self.flows[&id]))).collect();
         let mut guard = 0usize;
         while !unfrozen.is_empty() {
             guard += 1;
@@ -328,7 +397,7 @@ impl FlowNet {
             // Or that drives a flow into its cap.
             for &id in &unfrozen {
                 let st = &self.flows[&id];
-                if let Some(cap) = st.spec.rate_cap {
+                if let Some(cap) = eff_caps[&id] {
                     inc = inc.min((cap - st.rate).max(0.0));
                 }
             }
@@ -351,23 +420,15 @@ impl FlowNet {
             let mut still: Vec<u64> = Vec::with_capacity(unfrozen.len());
             for &id in &unfrozen {
                 let st = &self.flows[&id];
-                let capped = st
-                    .spec
-                    .rate_cap
-                    .is_some_and(|cap| st.rate >= cap - cap * 1e-12 - 1e-15);
-                let saturated = st
-                    .spec
-                    .path
-                    .iter()
-                    .any(|r| residual[r.0 as usize] <= self.resources[r.0 as usize].capacity * 1e-12);
+                let capped = eff_caps[&id].is_some_and(|cap| st.rate >= cap - cap * 1e-12 - 1e-15);
+                let saturated = st.spec.path.iter().any(|r| {
+                    residual[r.0 as usize] <= self.resources[r.0 as usize].capacity * 1e-12
+                });
                 if !capped && !saturated {
                     still.push(id);
                 }
             }
-            assert!(
-                still.len() < unfrozen.len(),
-                "progressive filling made no progress"
-            );
+            assert!(still.len() < unfrozen.len(), "progressive filling made no progress");
             unfrozen = still;
         }
     }
@@ -469,9 +530,7 @@ mod tests {
     fn latency_delays_start() {
         let mut net = FlowNet::new();
         let r = net.add_resource("link", 10.0);
-        net.start_flow(
-            FlowSpec::new(vec![r], 10.0).with_latency(SimDuration::from_secs_f64(2.0)),
-        );
+        net.start_flow(FlowSpec::new(vec![r], 10.0).with_latency(SimDuration::from_secs_f64(2.0)));
         let done = drain(&mut net);
         assert!((done[0].0 - 3.0).abs() < 1e-6, "t={}", done[0].0);
     }

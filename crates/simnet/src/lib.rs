@@ -12,6 +12,10 @@
 //!   VPC link (AIACC-Training §III).
 //! * [`Simulator`] — a combined event loop: user timers (opaque [`Token`]s)
 //!   interleaved with flow completions, always popped in deterministic order.
+//! * [`FaultPlan`] — deterministic, seeded fault injection: link capacity
+//!   degradation and flaps executed by the simulator itself (surfaced as
+//!   [`Event::Fault`]), plus node-scoped stragglers and crashes consumed by
+//!   the training layers.
 //!
 //! # Example
 //!
@@ -39,14 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod flow;
 mod flownet;
 mod sim;
 mod telemetry;
 mod time;
 
+pub use faults::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultRecord, FaultTarget};
 pub use flow::{Flow, FlowId, FlowSpec};
 pub use flownet::{FlowNet, Resource, ResourceId};
 pub use sim::{Event, Simulator, Token};
-pub use telemetry::UtilizationProbe;
+pub use telemetry::{AnnotatedSample, UtilizationProbe};
 pub use time::{SimDuration, SimTime};

@@ -1,5 +1,6 @@
 //! Combined event loop: user timers interleaved with flow completions.
 
+use crate::faults::{FaultInjector, FaultPlan, FaultRecord};
 use crate::flow::{FlowId, FlowSpec};
 use crate::flownet::FlowNet;
 use crate::time::{SimDuration, SimTime};
@@ -21,7 +22,9 @@ use std::collections::BinaryHeap;
 /// let t = Token { kind: KIND_GRAD_READY, a: 3, b: 17 };
 /// assert_eq!(t.a, 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Token {
     /// Event family (defined by the scheduling layer).
     pub kind: u32,
@@ -39,12 +42,16 @@ impl Token {
 }
 
 /// An event yielded by [`Simulator::next_event`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// A timer scheduled with [`Simulator::schedule`] has fired.
     Timer(Token),
     /// A network flow finished transferring all its bytes.
     FlowCompleted(FlowId),
+    /// An installed fault was applied or lifted (see
+    /// [`Simulator::install_faults`]). The capacity change has already been
+    /// executed when this event is delivered.
+    Fault(FaultRecord),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -76,6 +83,10 @@ pub struct Simulator {
     seq: u64,
     /// Flow completions discovered together but not yet handed out.
     pending_flows: Vec<FlowId>,
+    /// Compiled link-fault schedule (empty when no plan is installed).
+    faults: FaultInjector,
+    /// Every fault action executed so far, in order.
+    fault_log: Vec<(SimTime, FaultRecord)>,
 }
 
 impl Simulator {
@@ -119,14 +130,51 @@ impl Simulator {
         self.net.start_flow(spec)
     }
 
+    /// Installs (replaces) the link-fault schedule of `plan`.
+    ///
+    /// Only resource-targeted degrade/flap events are executed by the
+    /// simulator; node-scoped faults (stragglers, crashes) are data for
+    /// higher layers — resolve node-targeted link faults with
+    /// [`FaultPlan::resolve_links`] before installing. Fault actions are
+    /// delivered as [`Event::Fault`] and take priority over timers and flow
+    /// completions scheduled at the same instant, so handlers observe the
+    /// post-fault capacities.
+    ///
+    /// # Panics
+    /// Panics if any scheduled action is already in the past.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        let injector = FaultInjector::compile(plan);
+        if let Some(first) = injector.next_at() {
+            assert!(first >= self.now(), "fault scheduled in the past: {first} < {}", self.now());
+        }
+        self.faults = injector;
+    }
+
+    /// Every executed fault action so far, oldest first.
+    pub fn fault_log(&self) -> &[(SimTime, FaultRecord)] {
+        &self.fault_log
+    }
+
     /// Returns the next event and advances virtual time to it, or `None` when
-    /// neither timers nor flows remain.
+    /// neither timers, faults, nor flows remain.
     pub fn next_event(&mut self) -> Option<(SimTime, Event)> {
         if let Some(id) = self.pending_flows.pop() {
             return Some((self.now(), Event::FlowCompleted(id)));
         }
         let t_timer = self.timers.peek().map(|e| e.0.at);
         let t_flow = self.net.next_change();
+        // Faults preempt both timers and flow events at the same instant so
+        // that handlers always observe post-fault capacities.
+        if let Some(tf) = self.faults.next_at() {
+            let beats_timer = t_timer.is_none_or(|tt| tf <= tt);
+            let beats_flow = t_flow.is_none_or(|tl| tf <= tl);
+            if beats_timer && beats_flow {
+                self.net.advance_to(tf);
+                let rec = self.faults.apply_next(&mut self.net);
+                self.fault_log.push((tf, rec));
+                return Some((tf, Event::Fault(rec)));
+            }
+        }
         match (t_timer, t_flow) {
             (None, None) => None,
             (Some(tt), tf) if tf.is_none_or(|tf| tt <= tf) => {

@@ -6,8 +6,30 @@
 //! takes it: average utilization of a resource between two sample points,
 //! derived from the cumulative bytes-carried counter.
 
+use crate::faults::FaultRecord;
 use crate::flownet::{FlowNet, ResourceId};
 use crate::time::SimTime;
+
+/// A utilization sample annotated with the fault actions that landed on the
+/// probed resource during the sampling window.
+///
+/// `utilization` is measured against the probe's *baseline* capacity (the
+/// capacity at probe construction), so a link degraded to half capacity that
+/// stays saturated reads ~0.5, making fault impact visible in the telemetry
+/// stream rather than silently renormalized away. `capacity_now` carries the
+/// effective (possibly degraded) capacity at sample time for consumers that
+/// want the relative view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedSample {
+    /// Average utilization over the window, relative to baseline capacity.
+    pub utilization: f64,
+    /// Effective capacity of the resource at the end of the window.
+    pub capacity_now: f64,
+    /// Fault applications/restorations on this resource inside the window
+    /// (half-open: strictly after the previous sample, up to and including
+    /// this one).
+    pub faults: Vec<(SimTime, FaultRecord)>,
+}
 
 /// Windowed average-utilization probe for one resource.
 ///
@@ -61,6 +83,28 @@ impl UtilizationProbe {
         } else {
             moved / (self.capacity * dt)
         }
+    }
+
+    /// Like [`UtilizationProbe::sample`], but also reports the resource's
+    /// current effective capacity and the fault actions that hit it during
+    /// the window. Pass [`crate::Simulator::fault_log`] as `fault_log`; the
+    /// probe filters it down to its own resource and window.
+    pub fn sample_annotated(
+        &mut self,
+        net: &FlowNet,
+        fault_log: &[(SimTime, FaultRecord)],
+    ) -> AnnotatedSample {
+        let window_start = self.last_time;
+        let utilization = self.sample(net);
+        let window_end = self.last_time;
+        let faults = fault_log
+            .iter()
+            .filter(|(t, rec)| {
+                rec.resource == self.resource && *t > window_start && *t <= window_end
+            })
+            .copied()
+            .collect();
+        AnnotatedSample { utilization, capacity_now: net.resource(self.resource).capacity, faults }
     }
 }
 

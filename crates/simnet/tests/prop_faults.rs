@@ -1,0 +1,199 @@
+//! Property-based tests for dynamic capacity mutation (the fault-injection
+//! substrate): whatever sequence of degradations and restorations hits the
+//! network, the max-min allocation stays physical — no negative rates, no
+//! oversubscription, no lost bytes — and restoring every capacity returns
+//! the allocation to the fault-free fixed point.
+
+use aiacc_simnet::{Event, FlowNet, FlowSpec, Simulator};
+use proptest::prelude::*;
+
+const BASE_CAPS: [f64; 3] = [100.0, 1_000.0, 10_000.0];
+
+#[derive(Debug, Clone)]
+struct RandFlow {
+    res_a: usize,
+    res_b: usize,
+    bytes: f64,
+    cap: Option<f64>,
+}
+
+fn rand_flow() -> impl Strategy<Value = RandFlow> {
+    (0..3usize, 0..3usize, 1.0..1e5f64, prop::option::of(1.0..5e3f64))
+        .prop_map(|(res_a, res_b, bytes, cap)| RandFlow { res_a, res_b, bytes, cap })
+}
+
+/// A capacity mutation: scale resource `res` to `factor ×` its base capacity
+/// (0 = link down, 1 = healthy, up to 1.5 = burst above nominal).
+fn rand_mutation() -> impl Strategy<Value = (usize, f64)> {
+    (0..3usize, 0.0..1.5f64)
+}
+
+fn build(net: &mut FlowNet, flows: &[RandFlow]) -> Vec<(aiacc_simnet::FlowId, RandFlow)> {
+    let res: Vec<_> =
+        BASE_CAPS.iter().enumerate().map(|(i, &c)| net.add_resource(format!("r{i}"), c)).collect();
+    flows
+        .iter()
+        .map(|f| {
+            let mut spec = FlowSpec::new(vec![res[f.res_a], res[f.res_b]], f.bytes);
+            if let Some(c) = f.cap {
+                spec = spec.with_rate_cap(c);
+            }
+            (net.start_flow(spec), f.clone())
+        })
+        .collect()
+}
+
+proptest! {
+    /// After any prefix of an arbitrary mutation sequence, every flow rate is
+    /// non-negative and no resource carries more than its *current* capacity.
+    #[test]
+    fn rates_stay_physical_under_arbitrary_mutations(
+        flows in prop::collection::vec(rand_flow(), 1..12),
+        muts in prop::collection::vec(rand_mutation(), 1..24),
+    ) {
+        let mut net = FlowNet::new();
+        let started = build(&mut net, &flows);
+        // Recover the ResourceIds from the flows' paths (creation order 0..3).
+        let rids: Vec<_> = {
+            let mut all: Vec<_> = started
+                .iter()
+                .flat_map(|(id, _)| net.flow(*id).unwrap().spec.path)
+                .collect();
+            all.sort();
+            all.dedup();
+            all
+        };
+        for &(r, factor) in &muts {
+            let mutated = rids[r % rids.len()];
+            let base = BASE_CAPS[mutated.as_u32() as usize];
+            net.set_capacity(mutated, base * factor);
+            // The allocation that holds right now must be physical.
+            for &rid in &rids {
+                let cap = net.resource(rid).capacity;
+                let used = net.utilization(rid);
+                prop_assert!(used >= 0.0, "negative aggregate rate on {rid:?}");
+                prop_assert!(
+                    used <= 1.0 + 1e-9,
+                    "oversubscribed after mutation: {used} of capacity {cap}"
+                );
+            }
+            for (id, _) in &started {
+                if let Some(flow) = net.flow(*id) {
+                    if flow.rate.is_finite() {
+                        prop_assert!(flow.rate >= 0.0, "negative rate {}", flow.rate);
+                        // A flow crossing a downed link moves nothing.
+                        if flow.active
+                            && flow
+                                .spec
+                                .path
+                                .iter()
+                                .any(|p| net.resource(*p).capacity <= 0.0)
+                        {
+                            prop_assert!(
+                                flow.rate <= 1e-9,
+                                "flow still moving over a downed link: {}",
+                                flow.rate
+                            );
+                        }
+                    }
+                }
+            }
+            // Let a little simulated time pass so mutations interleave with
+            // actual progress.
+            if let Some(t) = net.next_change() {
+                net.advance_to(t);
+                net.take_completed();
+            }
+        }
+    }
+
+    /// Bytes are conserved: however capacities move mid-transfer, once links
+    /// are restored every flow completes and each single-resource flow's
+    /// bytes all show up in that resource's carried counter.
+    #[test]
+    fn byte_conservation_across_mutations(
+        sizes in prop::collection::vec(1.0..1e4f64, 1..8),
+        muts in prop::collection::vec(0.0..1.5f64, 1..12),
+    ) {
+        let mut sim = Simulator::new();
+        let r = sim.net_mut().add_resource("link", 1_000.0);
+        let mut expect_completions = std::collections::BTreeSet::new();
+        for &s in &sizes {
+            expect_completions.insert(sim.start_flow(FlowSpec::new(vec![r], s)));
+        }
+        // Interleave mutations with event processing.
+        let mut seen = std::collections::BTreeSet::new();
+        for &factor in &muts {
+            sim.net_mut().set_capacity(r, 1_000.0 * factor);
+            if let Some((_, Event::FlowCompleted(id))) = sim.next_event() {
+                seen.insert(id);
+            }
+        }
+        // Restore the link and drain: every remaining flow must finish.
+        sim.net_mut().set_capacity(r, 1_000.0);
+        let mut guard = 0;
+        while let Some((_, ev)) = sim.next_event() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+            if let Event::FlowCompleted(id) = ev {
+                prop_assert!(seen.insert(id), "duplicate completion");
+            }
+        }
+        prop_assert_eq!(&seen, &expect_completions);
+        let total: f64 = sizes.iter().sum();
+        let carried = sim.net_mut().carried_bytes(r);
+        prop_assert!(
+            (carried - total).abs() <= total * 1e-6 + 1e-6,
+            "bytes not conserved: carried {carried}, sent {total}"
+        );
+    }
+
+    /// Mutating capacities and then restoring them — without any time
+    /// passing — leaves the max-min allocation exactly where a never-faulted
+    /// network sits: the fault-free fixed point.
+    #[test]
+    fn restore_returns_to_fault_free_fixed_point(
+        flows in prop::collection::vec(rand_flow(), 1..12),
+        muts in prop::collection::vec(rand_mutation(), 1..24),
+    ) {
+        let mut faulted = FlowNet::new();
+        let mut pristine = FlowNet::new();
+        let started_f = build(&mut faulted, &flows);
+        let started_p = build(&mut pristine, &flows);
+
+        let rids: Vec<_> = {
+            let mut all: Vec<_> = started_f
+                .iter()
+                .flat_map(|(id, _)| faulted.flow(*id).unwrap().spec.path)
+                .collect();
+            all.sort();
+            all.dedup();
+            all
+        };
+        for &(r, factor) in &muts {
+            let rid = rids[r % rids.len()];
+            let base = BASE_CAPS[rid.as_u32() as usize];
+            faulted.set_capacity(rid, base * factor);
+            // Force a rate solve against the mutated topology.
+            let _ = faulted.next_change();
+        }
+        // Restore every capacity to its base value.
+        for &rid in &rids {
+            faulted.set_capacity(rid, BASE_CAPS[rid.as_u32() as usize]);
+        }
+        let _ = faulted.next_change();
+        let _ = pristine.next_change();
+        for ((idf, _), (idp, _)) in started_f.iter().zip(&started_p) {
+            let ff = faulted.flow(*idf).unwrap();
+            let fp = pristine.flow(*idp).unwrap();
+            prop_assert_eq!(
+                ff.rate.to_bits(),
+                fp.rate.to_bits(),
+                "restored allocation diverges from fault-free fixed point: {} vs {}",
+                ff.rate,
+                fp.rate
+            );
+            prop_assert_eq!(ff.remaining.to_bits(), fp.remaining.to_bits());
+        }
+    }
+}

@@ -13,20 +13,9 @@ struct RandFlow {
 }
 
 fn rand_flow(n_res: usize) -> impl Strategy<Value = RandFlow> {
-    (
-        0..n_res,
-        0..n_res,
-        1.0..1e6f64,
-        prop::option::of(1.0..1e4f64),
-        0u64..1_000_000,
+    (0..n_res, 0..n_res, 1.0..1e6f64, prop::option::of(1.0..1e4f64), 0u64..1_000_000).prop_map(
+        |(res_a, res_b, bytes, cap, latency_ns)| RandFlow { res_a, res_b, bytes, cap, latency_ns },
     )
-        .prop_map(|(res_a, res_b, bytes, cap, latency_ns)| RandFlow {
-            res_a,
-            res_b,
-            bytes,
-            cap,
-            latency_ns,
-        })
 }
 
 proptest! {

@@ -156,9 +156,8 @@ mod tests {
 
     #[test]
     fn bounded_staleness_still_converges() {
-        let mut t = AsyncDataParallelTrainer::new(
-            AsyncConfig::new(vec![4, 16, 3], 4, 8).with_staleness(4),
-        );
+        let mut t =
+            AsyncDataParallelTrainer::new(AsyncConfig::new(vec![4, 16, 3], 4, 8).with_staleness(4));
         let losses = t.train(80);
         assert!(losses[79] < losses[0] * 0.6, "{} -> {}", losses[0], losses[79]);
     }
@@ -178,10 +177,7 @@ mod tests {
         };
         let fresh = run(0);
         let stale = run(24);
-        assert!(
-            stale > fresh,
-            "staleness should slow convergence: fresh {fresh} vs stale {stale}"
-        );
+        assert!(stale > fresh, "staleness should slow convergence: fresh {fresh} vs stale {stale}");
     }
 
     #[test]

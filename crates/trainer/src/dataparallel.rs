@@ -127,8 +127,9 @@ impl DataParallelTrainer {
 
     fn current_lr(&self) -> f64 {
         match self.config.decay_steps {
-            Some(total) => LinearDecay::new(self.config.lr, self.config.lr * 0.01, total)
-                .lr_at(self.step),
+            Some(total) => {
+                LinearDecay::new(self.config.lr, self.config.lr * 0.01, total).lr_at(self.step)
+            }
             None => self.config.lr,
         }
     }
@@ -208,8 +209,7 @@ impl DataParallelTrainer {
         }
         t.optimizers = vec![ckpt.optimizer; t.config.world];
         t.step = ckpt.step;
-        t.cursor = (ckpt.step as usize * t.config.world * t.config.batch_per_worker)
-            % t.data.len();
+        t.cursor = (ckpt.step as usize * t.config.world * t.config.batch_per_worker) % t.data.len();
         t
     }
 

@@ -1,8 +1,8 @@
 //! Engine and framework selection.
 
 use aiacc_baselines::{
-    BytePsConfig, BytePsEngine, DdpConfig, DdpEngine, HorovodConfig, HorovodEngine,
-    KvStoreConfig, KvStoreEngine,
+    BytePsConfig, BytePsEngine, DdpConfig, DdpEngine, HorovodConfig, HorovodEngine, KvStoreConfig,
+    KvStoreEngine,
 };
 use aiacc_core::ddl::DdlEngine;
 use aiacc_core::{AiaccConfig, AiaccEngine};

@@ -76,15 +76,13 @@ pub fn run_hybrid_sim(
     // holds 1/stages of the FLOPs, and the schedule pays a bubble overhead.
     let cm = ComputeModel::v100();
     let timing = cm.iteration_timing(model, batch_per_replica, DType::F32);
-    let compute_secs = (timing.forward + timing.backward).as_secs_f64() / stages as f64
-        * PIPELINE_OVERHEAD;
+    let compute_secs =
+        (timing.forward + timing.backward).as_secs_f64() / stages as f64 * PIPELINE_OVERHEAD;
     // Activation transfers cross (stages − 1) NVLink boundaries, forward and
     // backward.
-    let act_secs = 2.0
-        * (stages - 1) as f64
-        * batch_per_replica as f64
-        * ACTIVATION_BYTES_PER_SAMPLE
-        / spec.node.gpu.nvlink_bytes_per_sec();
+    let act_secs =
+        2.0 * (stages - 1) as f64 * batch_per_replica as f64 * ACTIVATION_BYTES_PER_SAMPLE
+            / spec.node.gpu.nvlink_bytes_per_sec();
     let compute_end = SimDuration::from_secs_f64(compute_secs + act_secs);
 
     // Communication: one aggregation per stage (params/stages bytes), all
@@ -145,10 +143,10 @@ pub fn run_hybrid_sim(
                 }
                 // Server-side aggregation: (replicas − 1) incoming copies
                 // summed on one core, modelled as a latency-only phase.
-                let sum_secs =
-                    (replicas - 1) as f64 * stage_bytes / KVSTORE_SUM_BYTES_PER_SEC;
-                let aggregate = vec![FlowSpec::new(vec![], 0.0)
-                    .with_latency(SimDuration::from_secs_f64(sum_secs))];
+                let sum_secs = (replicas - 1) as f64 * stage_bytes / KVSTORE_SUM_BYTES_PER_SEC;
+                let aggregate =
+                    vec![FlowSpec::new(vec![], 0.0)
+                        .with_latency(SimDuration::from_secs_f64(sum_secs))];
                 coll.launch_custom(&mut sim, VecDeque::from(vec![push, aggregate, pull]));
                 expected += 1;
             }
@@ -170,8 +168,7 @@ pub fn run_hybrid_sim(
         }
     }
 
-    let iter = compute_end.as_secs_f64().max(comm_end.as_secs_f64())
-        + timing.update.as_secs_f64();
+    let iter = compute_end.as_secs_f64().max(comm_end.as_secs_f64()) + timing.update.as_secs_f64();
     HybridReport {
         samples_per_sec: (batch_per_replica * replicas) as f64 / iter,
         iter_secs: iter,
@@ -199,11 +196,9 @@ mod tests {
     #[test]
     fn advantage_grows_with_scale() {
         let s16 = run_hybrid_sim(&zoo::resnet50(), 16, 64, HybridEngine::Aiacc).samples_per_sec
-            / run_hybrid_sim(&zoo::resnet50(), 16, 64, HybridEngine::MxnetKvStore)
-                .samples_per_sec;
+            / run_hybrid_sim(&zoo::resnet50(), 16, 64, HybridEngine::MxnetKvStore).samples_per_sec;
         let s64 = run_hybrid_sim(&zoo::resnet50(), 64, 64, HybridEngine::Aiacc).samples_per_sec
-            / run_hybrid_sim(&zoo::resnet50(), 64, 64, HybridEngine::MxnetKvStore)
-                .samples_per_sec;
+            / run_hybrid_sim(&zoo::resnet50(), 64, 64, HybridEngine::MxnetKvStore).samples_per_sec;
         assert!(s64 > s16 * 0.9, "16 GPUs {s16:.2} vs 64 GPUs {s64:.2}");
     }
 

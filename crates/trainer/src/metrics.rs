@@ -88,14 +88,7 @@ mod tests {
     use super::*;
 
     fn report(world: usize, iter: f64) -> ThroughputReport {
-        ThroughputReport::new(
-            "e".into(),
-            "m".into(),
-            world,
-            10,
-            SampleUnit::Images,
-            vec![iter; 3],
-        )
+        ThroughputReport::new("e".into(), "m".into(), world, 10, SampleUnit::Images, vec![iter; 3])
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub fn pipeline_iteration(
         cluster.node.gpus_per_node
     );
     assert!(
-        batch % cfg.microbatches == 0,
+        batch.is_multiple_of(cfg.microbatches),
         "batch {batch} not a multiple of {} microbatches",
         cfg.microbatches
     );
@@ -118,12 +118,10 @@ pub fn pipeline_iteration(
     let per_stage = (timing.forward + timing.backward).as_secs_f64() / cfg.stages as f64;
     let compute = per_stage * cfg.inflation();
     // Every microbatch crosses (S − 1) boundaries forward and backward.
-    let act = 2.0
-        * (cfg.stages - 1) as f64
-        * batch as f64
-        * ACTIVATION_BYTES_PER_SAMPLE
+    let act = 2.0 * (cfg.stages - 1) as f64 * batch as f64 * ACTIVATION_BYTES_PER_SAMPLE
         / cluster.node.gpu.nvlink_bytes_per_sec();
-    let peak = cfg.peak_activation_microbatches() as f64 * (batch / cfg.microbatches) as f64
+    let peak = cfg.peak_activation_microbatches() as f64
+        * (batch / cfg.microbatches) as f64
         * ACTIVATION_BYTES_PER_SAMPLE;
     PipelineReport {
         iter_secs: compute + act + timing.update.as_secs_f64(),
@@ -193,9 +191,8 @@ mod tests {
     #[test]
     fn report_reflects_memory_difference() {
         let cluster = ClusterSpec::tcp_v100(8);
-        let mk = |s| {
-            pipeline_iteration(&cluster, &zoo::resnet50(), 64, PipelineConfig::new(4, 16, s))
-        };
+        let mk =
+            |s| pipeline_iteration(&cluster, &zoo::resnet50(), 64, PipelineConfig::new(4, 16, s));
         let gpipe = mk(Schedule::GPipe);
         let fb = mk(Schedule::OneFOneB);
         assert!((gpipe.iter_secs - fb.iter_secs).abs() < 1e-12, "same wall-clock");

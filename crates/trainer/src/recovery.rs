@@ -9,8 +9,11 @@
 
 use aiacc_cluster::{ClusterNet, ClusterSpec};
 use aiacc_dnn::{DType, ModelProfile};
-use aiacc_simnet::{Event, FlowSpec, SimDuration, Simulator};
+use aiacc_simnet::{Event, FlowSpec, SimDuration, Simulator, Token};
 use serde::{Deserialize, Serialize};
+
+/// Timer kind used by the replayed recovery timelines.
+const RESTART_DONE_KIND: u32 = 7001;
 
 /// Infrastructure constants for recovery timing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -119,6 +122,84 @@ fn drain(sim: &mut Simulator) -> f64 {
     t_end
 }
 
+/// Replays a node failure as an actual simulated timeline instead of the
+/// closed-form sum of [`failure_recovery`]: the crash happens at t=0, a
+/// restart-overhead timer models process/communicator bring-up, and only
+/// when it fires do the checkpoint-read flows start. The report's phases are
+/// measured off the event clock, so the total reconciles with the
+/// closed-form number (they agree because the phases are serial; the replay
+/// is the ground truth the trainer charges for a mid-run crash).
+pub fn replay_failure_recovery(
+    cluster: &ClusterSpec,
+    model: &ModelProfile,
+    cfg: RecoveryConfig,
+) -> RecoveryReport {
+    let bytes = model.grad_bytes(DType::F32);
+    let mut sim = Simulator::new();
+    let net_cluster = ClusterNet::build(cluster, sim.net_mut());
+    sim.schedule(cfg.restart_overhead, Token::new(RESTART_DONE_KIND, 0, 0));
+    replay(&mut sim, |sim| {
+        for n in 0..cluster.nodes {
+            sim.start_flow(
+                FlowSpec::new(vec![net_cluster.node_rx_resource(n)], bytes)
+                    .with_rate_cap(cfg.store_bytes_per_sec)
+                    .with_latency(cluster.node.nic.latency),
+            );
+        }
+    })
+}
+
+/// Replays an elastic join through the simulator: communicator rebuild as a
+/// timer, then parameter broadcasts to the joiners (round-robin senders, as
+/// in [`elastic_join`]).
+///
+/// # Panics
+/// Panics if `new_nodes` is zero.
+pub fn replay_elastic_join(
+    cluster: &ClusterSpec,
+    model: &ModelProfile,
+    new_nodes: usize,
+    cfg: RecoveryConfig,
+) -> RecoveryReport {
+    assert!(new_nodes > 0, "no nodes to add");
+    let bytes = model.grad_bytes(DType::F32);
+    let grown = ClusterSpec::new(cluster.nodes + new_nodes, cluster.node.clone());
+    let mut sim = Simulator::new();
+    let net_cluster = ClusterNet::build(&grown, sim.net_mut());
+    let overhead = SimDuration::from_nanos(cfg.restart_overhead.as_nanos() / 4);
+    sim.schedule(overhead, Token::new(RESTART_DONE_KIND, 0, 0));
+    replay(&mut sim, |sim| {
+        for (i, dst) in (cluster.nodes..grown.nodes).enumerate() {
+            let src = i % cluster.nodes;
+            let p = net_cluster.node_path(src, dst);
+            sim.start_flow(p.flow(bytes));
+        }
+    })
+}
+
+/// Runs a two-phase recovery timeline: wait for the restart timer, start the
+/// transfer flows, measure both phases off the event clock.
+fn replay(sim: &mut Simulator, start_flows: impl FnOnce(&mut Simulator)) -> RecoveryReport {
+    let mut start_flows = Some(start_flows);
+    let mut overhead_secs = 0.0;
+    let mut end_secs = 0.0;
+    while let Some((t, ev)) = sim.next_event() {
+        match ev {
+            Event::Timer(tok) if tok.kind == RESTART_DONE_KIND => {
+                overhead_secs = t.as_secs_f64();
+                (start_flows.take().expect("restart timer fired twice"))(sim);
+            }
+            Event::FlowCompleted(_) => end_secs = t.as_secs_f64(),
+            _ => {}
+        }
+    }
+    RecoveryReport {
+        overhead_secs,
+        transfer_secs: end_secs - overhead_secs,
+        total_secs: end_secs.max(overhead_secs),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +258,53 @@ mod tests {
             one.transfer_secs,
             four.transfer_secs
         );
+    }
+
+    #[test]
+    fn replayed_failure_recovery_matches_closed_form() {
+        // The replay drives the same phases through the event loop; the two
+        // estimates must reconcile (§IV timing is serial restart + reads).
+        for model in [zoo::resnet50(), zoo::bert_large()] {
+            let cluster = ClusterSpec::tcp_v100(32);
+            let closed = failure_recovery(&cluster, &model, RecoveryConfig::default());
+            let replayed = replay_failure_recovery(&cluster, &model, RecoveryConfig::default());
+            let rel = (replayed.total_secs - closed.total_secs).abs() / closed.total_secs;
+            assert!(
+                rel < 0.10,
+                "{}: replay {} vs closed-form {}",
+                model.name(),
+                replayed.total_secs,
+                closed.total_secs
+            );
+            assert!(replayed.overhead_secs > 0.0 && replayed.transfer_secs > 0.0);
+            // Phases are serial: the pieces must add up.
+            assert!(
+                (replayed.total_secs - replayed.overhead_secs - replayed.transfer_secs).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn replayed_elastic_join_matches_closed_form() {
+        let cluster = ClusterSpec::tcp_v100(64);
+        for joiners in [1, 4] {
+            let closed =
+                elastic_join(&cluster, &zoo::bert_large(), joiners, RecoveryConfig::default());
+            let replayed = replay_elastic_join(
+                &cluster,
+                &zoo::bert_large(),
+                joiners,
+                RecoveryConfig::default(),
+            );
+            let rel = (replayed.total_secs - closed.total_secs).abs() / closed.total_secs;
+            assert!(
+                rel < 0.10,
+                "{joiners} joiners: replay {} vs closed-form {}",
+                replayed.total_secs,
+                closed.total_secs
+            );
+        }
     }
 
     #[test]

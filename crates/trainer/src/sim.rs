@@ -2,15 +2,18 @@
 
 use crate::engines::{EngineKind, Framework};
 use crate::metrics::ThroughputReport;
+use crate::recovery::{replay_failure_recovery, RecoveryConfig};
 use aiacc_cluster::{jitter_factor, ClusterNet, ClusterSpec, ComputeModel};
 use aiacc_collectives::CollectiveEngine;
 use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
 use aiacc_dnn::{DType, GradId, ModelProfile};
-use aiacc_simnet::{Event, SimDuration, SimTime, Simulator, Token};
+use aiacc_simnet::{Event, FaultPlan, SimDuration, SimTime, Simulator, Token};
 use serde::{Deserialize, Serialize};
 
 const GRAD_KIND: u32 = 1;
 const BWD_KIND: u32 = 2;
+/// Timer kind for a scheduled node crash from the fault plan.
+const FAULT_CRASH_KIND: u32 = 3;
 
 /// Configuration of one simulated training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,6 +41,12 @@ pub struct TrainingSimConfig {
     /// runs `slow_factor`× slower every iteration (a degraded or
     /// noisy-neighbour GPU). Synchronous SGD makes everyone wait for it.
     pub stragglers: Vec<(usize, f64)>,
+    /// Scheduled faults: link degradations/flaps are installed on the
+    /// simulator (node targets resolved to that node's NIC tx/rx), straggler
+    /// windows scale compute time, and crashes abort the running iteration
+    /// and charge a replayed checkpoint restart. An empty plan (the default)
+    /// changes nothing.
+    pub faults: FaultPlan,
 }
 
 impl TrainingSimConfig {
@@ -55,6 +64,7 @@ impl TrainingSimConfig {
             seed: 42,
             jitter_frac: 0.02,
             stragglers: Vec::new(),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -93,6 +103,12 @@ impl TrainingSimConfig {
         self.stragglers.push((worker, factor));
         self
     }
+
+    /// Installs a fault plan for the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Phase timestamps of one simulated iteration, relative to its start.
@@ -108,12 +124,24 @@ pub struct IterationBreakdown {
     pub comm_done_secs: f64,
     /// Iteration end (after the optimizer update), seconds.
     pub iter_secs: f64,
+    /// Link-fault actions (applications and restorations) observed while
+    /// this iteration ran.
+    pub fault_events: u32,
+    /// Node crashes that aborted an attempt of this iteration.
+    pub crashes: u32,
+    /// Wall-clock spent in checkpoint restarts charged to this iteration.
+    pub recovery_secs: f64,
 }
 
 impl IterationBreakdown {
     /// Communication time not hidden behind compute.
     pub fn comm_tail_secs(&self) -> f64 {
         (self.comm_done_secs - self.backward_end_secs).max(0.0)
+    }
+
+    /// Whether any fault activity touched this iteration.
+    pub fn fault_impacted(&self) -> bool {
+        self.fault_events > 0 || self.crashes > 0
     }
 }
 
@@ -127,6 +155,11 @@ pub struct TrainingSim {
     engine: Box<dyn DdlEngine>,
     compute: ComputeModel,
     iter: u64,
+    /// The fault plan with node-targeted link faults resolved to NIC
+    /// resources (kept for straggler-window queries).
+    faults: FaultPlan,
+    /// Lazily computed cost of one replayed checkpoint restart, seconds.
+    recovery_cost: Option<f64>,
 }
 
 impl std::fmt::Debug for TrainingSim {
@@ -139,13 +172,100 @@ impl std::fmt::Debug for TrainingSim {
 }
 
 impl TrainingSim {
-    /// Builds the simulation (cluster resources, engine, compute model).
+    /// Builds the simulation (cluster resources, engine, compute model) and
+    /// installs the configured fault plan: node-targeted link faults resolve
+    /// to that node's NIC tx/rx ports, link faults are armed on the
+    /// simulator, and each scheduled crash becomes a timer.
+    ///
+    /// # Panics
+    /// Panics if the plan targets a node outside the cluster.
     pub fn new(cfg: TrainingSimConfig) -> Self {
         let mut sim = Simulator::new();
         let cluster = ClusterNet::build(&cfg.cluster, sim.net_mut());
         let engine = cfg.engine.build(&cfg.model, cfg.cluster.world_size());
         let compute = ComputeModel::new(cfg.cluster.node.gpu.clone());
-        TrainingSim { cfg, sim, cluster, coll: CollectiveEngine::new(), engine, compute, iter: 0 }
+        let nodes = cfg.cluster.nodes;
+        let faults = cfg.faults.resolve_links(|n| {
+            assert!((n as usize) < nodes, "fault targets node {n}, cluster has {nodes}");
+            vec![cluster.node_tx_resource(n as usize), cluster.node_rx_resource(n as usize)]
+        });
+        sim.install_faults(&faults);
+        for (node, at) in faults.crash_times() {
+            assert!((node as usize) < nodes, "crash targets node {node}, cluster has {nodes}");
+            sim.schedule_at(at, Token::new(FAULT_CRASH_KIND, node, 0));
+        }
+        TrainingSim {
+            cfg,
+            sim,
+            cluster,
+            coll: CollectiveEngine::new(),
+            engine,
+            compute,
+            iter: 0,
+            faults,
+            recovery_cost: None,
+        }
+    }
+
+    /// Wall-clock cost of one crash: a replayed checkpoint restart (see
+    /// [`crate::recovery::replay_failure_recovery`]). Computed once — the
+    /// replay is deterministic, every crash costs the same.
+    fn recovery_pause_secs(&mut self) -> f64 {
+        if self.recovery_cost.is_none() {
+            self.recovery_cost = Some(
+                replay_failure_recovery(
+                    &self.cfg.cluster,
+                    &self.cfg.model,
+                    RecoveryConfig::default(),
+                )
+                .total_secs,
+            );
+        }
+        self.recovery_cost.expect("just set")
+    }
+
+    /// Advances the simulator to `end`, dropping stale work: fault records
+    /// are still routed to the engine, and a crash timer landing inside the
+    /// window extends it by a checkpoint restart. Returns the boundary
+    /// actually reached.
+    fn drain_to(
+        &mut self,
+        mut end: SimTime,
+        fault_events: &mut u32,
+        crashes: &mut u32,
+        recovery_secs: &mut f64,
+    ) -> SimTime {
+        while self.sim.now() < end {
+            self.sim.schedule_at(end, Token::new(u32::MAX, 0, 0));
+            while let Some((t, ev)) = self.sim.next_event() {
+                match ev {
+                    Event::Timer(tok) if tok.kind == u32::MAX && t >= end => break,
+                    // A sentinel for a boundary that has since been extended
+                    // fires early (t < end) and is dropped.
+                    Event::Timer(tok) if tok.kind == u32::MAX => {}
+                    Event::Timer(tok) if tok.kind == FAULT_CRASH_KIND => {
+                        *crashes += 1;
+                        let pause = self.recovery_pause_secs();
+                        *recovery_secs += pause;
+                        self.coll.cancel_all(&mut self.sim);
+                        end = t + SimDuration::from_secs_f64(pause);
+                    }
+                    Event::Fault(rec) => {
+                        *fault_events += 1;
+                        let mut cx = DdlCtx {
+                            sim: &mut self.sim,
+                            coll: &mut self.coll,
+                            cluster: &self.cluster,
+                            max_streams_now: self.compute.max_comm_streams_idle(),
+                        };
+                        self.engine.on_fault(&mut cx, &rec);
+                    }
+                    // Stale timers / lingering flows from engines are dropped.
+                    _ => {}
+                }
+            }
+        }
+        end
     }
 
     /// The effective per-GPU batch size.
@@ -159,10 +279,16 @@ impl TrainingSim {
     }
 
     /// Runs one iteration and reports its phase breakdown.
+    ///
+    /// A node crash from the fault plan aborts the running attempt: all
+    /// in-flight collectives are torn down, the job pays a replayed
+    /// checkpoint restart, and the iteration re-runs from scratch — so a
+    /// crashed iteration's `iter_secs` includes the lost attempt, the
+    /// recovery pause and the successful re-run.
     pub fn run_iteration_detailed(&mut self) -> IterationBreakdown {
         let world = self.cfg.cluster.world_size();
         let batch = self.batch_per_gpu();
-        let t_start = self.sim.now();
+        let t0 = self.sim.now();
         let fw = self.cfg.framework;
         let timing = self.compute.iteration_timing(&self.cfg.model, batch, DType::F32);
 
@@ -178,121 +304,151 @@ impl TrainingSim {
         };
         let streams_idle = self.compute.max_comm_streams_idle();
 
-        {
-            let mut cx = DdlCtx {
-                sim: &mut self.sim,
-                coll: &mut self.coll,
-                cluster: &self.cluster,
-                max_streams_now: streams_busy,
-            };
-            self.engine.begin_iteration(&mut cx, self.iter);
-        }
+        let mut fault_events = 0u32;
+        let mut crashes = 0u32;
+        let mut recovery_secs = 0.0f64;
 
-        // Schedule each worker's compute: forward, per-gradient readiness,
-        // backward completion — all scaled by the framework factor and the
-        // worker/iteration jitter.
-        let mut last_bwd = t_start;
-        for w in 0..world {
-            let straggle: f64 = self
-                .cfg
-                .stragglers
-                .iter()
-                .filter(|&&(sw, _)| sw == w)
-                .map(|&(_, f)| f)
-                .product();
-            let jf = jitter_factor(self.cfg.seed, w, self.iter, self.cfg.jitter_frac)
-                * fw.compute_factor()
-                * straggle;
-            let fwd = timing.forward.mul_f64(jf) + fw.per_iter_overhead();
-            for &(g, off) in &timing.grad_ready {
-                self.sim
-                    .schedule(fwd + off.mul_f64(jf), Token::new(GRAD_KIND, w as u32, g.0 as u64));
+        let (last_bwd, comm_done_at) = 'attempt: loop {
+            let t_start = self.sim.now();
+            {
+                let mut cx = DdlCtx {
+                    sim: &mut self.sim,
+                    coll: &mut self.coll,
+                    cluster: &self.cluster,
+                    max_streams_now: streams_busy,
+                };
+                self.engine.begin_iteration(&mut cx, self.iter);
             }
-            let bwd_at = fwd + timing.backward.mul_f64(jf);
-            self.sim.schedule(bwd_at, Token::new(BWD_KIND, w as u32, 0));
-            last_bwd = last_bwd.max(t_start + bwd_at);
-        }
 
-        // Event loop until this iteration's communication completes.
-        let mut busy_workers = world;
-        let comm_done_at: SimTime;
-        loop {
-            let Some((t, ev)) = self.sim.next_event() else {
-                panic!(
-                    "simulation drained without finishing iteration {} of {}",
-                    self.iter,
-                    self.engine.name()
-                );
-            };
-            let max_streams = if busy_workers > 0 { streams_busy } else { streams_idle };
-            match ev {
-                Event::Timer(tok) if tok.kind == GRAD_KIND => {
-                    let mut cx = DdlCtx {
-                        sim: &mut self.sim,
-                        coll: &mut self.coll,
-                        cluster: &self.cluster,
-                        max_streams_now: max_streams,
-                    };
-                    self.engine.on_grad_ready(&mut cx, tok.a as usize, GradId(tok.b as u32));
+            // Schedule each worker's compute: forward, per-gradient
+            // readiness, backward completion — all scaled by the framework
+            // factor, the worker/iteration jitter, and any straggler fault
+            // window active at the attempt's start.
+            let mut last_bwd = t_start;
+            for w in 0..world {
+                let straggle: f64 = self
+                    .cfg
+                    .stragglers
+                    .iter()
+                    .filter(|&&(sw, _)| sw == w)
+                    .map(|&(_, f)| f)
+                    .product::<f64>()
+                    * self.faults.compute_factor(self.cfg.cluster.node_of(w) as u32, t_start);
+                let jf = jitter_factor(self.cfg.seed, w, self.iter, self.cfg.jitter_frac)
+                    * fw.compute_factor()
+                    * straggle;
+                let fwd = timing.forward.mul_f64(jf) + fw.per_iter_overhead();
+                for &(g, off) in &timing.grad_ready {
+                    self.sim.schedule(
+                        fwd + off.mul_f64(jf),
+                        Token::new(GRAD_KIND, w as u32, g.0 as u64),
+                    );
                 }
-                Event::Timer(tok) if tok.kind == BWD_KIND => {
-                    busy_workers -= 1;
-                    let mut cx = DdlCtx {
-                        sim: &mut self.sim,
-                        coll: &mut self.coll,
-                        cluster: &self.cluster,
-                        max_streams_now: if busy_workers > 0 { streams_busy } else { streams_idle },
-                    };
-                    self.engine.on_backward_done(&mut cx, tok.a as usize);
-                }
-                Event::Timer(tok) if tok.kind == ENGINE_TIMER_KIND => {
-                    let mut cx = DdlCtx {
-                        sim: &mut self.sim,
-                        coll: &mut self.coll,
-                        cluster: &self.cluster,
-                        max_streams_now: max_streams,
-                    };
-                    self.engine.on_timer(&mut cx, tok.a, tok.b);
-                }
-                Event::Timer(_) => {}
-                Event::FlowCompleted(f) => {
-                    if let Some(op) = self.coll.on_flow_completed(&mut self.sim, f) {
+                let bwd_at = fwd + timing.backward.mul_f64(jf);
+                self.sim.schedule(bwd_at, Token::new(BWD_KIND, w as u32, 0));
+                last_bwd = last_bwd.max(t_start + bwd_at);
+            }
+
+            // Event loop until this iteration's communication completes.
+            let mut busy_workers = world;
+            loop {
+                let Some((t, ev)) = self.sim.next_event() else {
+                    panic!(
+                        "simulation drained without finishing iteration {} of {}",
+                        self.iter,
+                        self.engine.name()
+                    );
+                };
+                let max_streams = if busy_workers > 0 { streams_busy } else { streams_idle };
+                match ev {
+                    Event::Timer(tok) if tok.kind == GRAD_KIND => {
                         let mut cx = DdlCtx {
                             sim: &mut self.sim,
                             coll: &mut self.coll,
                             cluster: &self.cluster,
                             max_streams_now: max_streams,
                         };
-                        self.engine.on_collective_done(&mut cx, op);
+                        self.engine.on_grad_ready(&mut cx, tok.a as usize, GradId(tok.b as u32));
+                    }
+                    Event::Timer(tok) if tok.kind == BWD_KIND => {
+                        busy_workers -= 1;
+                        let mut cx = DdlCtx {
+                            sim: &mut self.sim,
+                            coll: &mut self.coll,
+                            cluster: &self.cluster,
+                            max_streams_now: if busy_workers > 0 {
+                                streams_busy
+                            } else {
+                                streams_idle
+                            },
+                        };
+                        self.engine.on_backward_done(&mut cx, tok.a as usize);
+                    }
+                    Event::Timer(tok) if tok.kind == ENGINE_TIMER_KIND => {
+                        let mut cx = DdlCtx {
+                            sim: &mut self.sim,
+                            coll: &mut self.coll,
+                            cluster: &self.cluster,
+                            max_streams_now: max_streams,
+                        };
+                        self.engine.on_timer(&mut cx, tok.a, tok.b);
+                    }
+                    Event::Timer(tok) if tok.kind == FAULT_CRASH_KIND => {
+                        // Synchronous SGD: one crashed node kills the whole
+                        // attempt. Tear down in-flight work, pay the
+                        // restart, retry the iteration.
+                        crashes += 1;
+                        let pause = self.recovery_pause_secs();
+                        recovery_secs += pause;
+                        self.coll.cancel_all(&mut self.sim);
+                        let resume = t + SimDuration::from_secs_f64(pause);
+                        self.drain_to(resume, &mut fault_events, &mut crashes, &mut recovery_secs);
+                        continue 'attempt;
+                    }
+                    Event::Timer(_) => {}
+                    Event::FlowCompleted(f) => {
+                        if let Some(op) = self.coll.on_flow_completed(&mut self.sim, f) {
+                            let mut cx = DdlCtx {
+                                sim: &mut self.sim,
+                                coll: &mut self.coll,
+                                cluster: &self.cluster,
+                                max_streams_now: max_streams,
+                            };
+                            self.engine.on_collective_done(&mut cx, op);
+                        }
+                    }
+                    Event::Fault(rec) => {
+                        fault_events += 1;
+                        let mut cx = DdlCtx {
+                            sim: &mut self.sim,
+                            coll: &mut self.coll,
+                            cluster: &self.cluster,
+                            max_streams_now: max_streams,
+                        };
+                        self.engine.on_fault(&mut cx, &rec);
                     }
                 }
+                if busy_workers == 0 && self.engine.comm_done() {
+                    break 'attempt (last_bwd, t);
+                }
             }
-            if busy_workers == 0 && self.engine.comm_done() {
-                comm_done_at = t;
-                break;
-            }
-        }
+        };
 
         // Synchronous SGD: the iteration ends after the slowest of compute
-        // and communication, plus the optimizer update.
+        // and communication, plus the optimizer update. Advance the
+        // simulator to the boundary so the next iteration starts cleanly
+        // (stale engine timers beyond the boundary are ignored by iter id;
+        // a crash landing in the gap extends it by a restart).
         let end = comm_done_at.max(last_bwd) + timing.update;
-        // Advance the simulator to the boundary so the next iteration starts
-        // cleanly (stale engine timers beyond `end` are ignored by iter id).
-        if end > self.sim.now() {
-            self.sim.schedule_at(end, Token::new(u32::MAX, 0, 0));
-            while let Some((t, ev)) = self.sim.next_event() {
-                if matches!(ev, Event::Timer(tok) if tok.kind == u32::MAX) {
-                    debug_assert_eq!(t, end);
-                    break;
-                }
-                // Stale timers / lingering flows from engines are dropped.
-            }
-        }
+        let end = self.drain_to(end, &mut fault_events, &mut crashes, &mut recovery_secs);
         self.iter += 1;
         IterationBreakdown {
-            backward_end_secs: (last_bwd - t_start).as_secs_f64(),
-            comm_done_secs: (comm_done_at.max(t_start) - t_start).as_secs_f64(),
-            iter_secs: (end - t_start).as_secs_f64(),
+            backward_end_secs: (last_bwd - t0).as_secs_f64(),
+            comm_done_secs: (comm_done_at.max(t0) - t0).as_secs_f64(),
+            iter_secs: (end - t0).as_secs_f64(),
+            fault_events,
+            crashes,
+            recovery_secs,
         }
     }
 
@@ -364,12 +520,7 @@ mod tests {
             EngineKind::MxnetKvStore(KvStoreConfig::default()),
         ] {
             let r = quick(zoo::resnet50(), 16, engine);
-            assert!(
-                r.samples_per_sec > 100.0,
-                "{}: {} img/s",
-                engine.label(),
-                r.samples_per_sec
-            );
+            assert!(r.samples_per_sec > 100.0, "{}: {} img/s", engine.label(), r.samples_per_sec);
         }
     }
 
@@ -454,9 +605,11 @@ mod tests {
         // multi-streamed overlap shrinks the after-backward communication
         // tail that Horovod pays in full (Fig. 5).
         let mk = |engine| {
-            let mut sim = TrainingSim::new(
-                TrainingSimConfig::new(ClusterSpec::tcp_v100(16), zoo::vgg16(), engine),
-            );
+            let mut sim = TrainingSim::new(TrainingSimConfig::new(
+                ClusterSpec::tcp_v100(16),
+                zoo::vgg16(),
+                engine,
+            ));
             let _ = sim.run_iteration(); // warm-up
             sim.run_iteration_detailed()
         };
@@ -505,7 +658,8 @@ mod tests {
 
     #[test]
     fn compression_config_flows_through() {
-        let plain = quick(zoo::vgg16(), 16, EngineKind::Aiacc(AiaccConfig::default().with_streams(1)));
+        let plain =
+            quick(zoo::vgg16(), 16, EngineKind::Aiacc(AiaccConfig::default().with_streams(1)));
         let fp16 = quick(
             zoo::vgg16(),
             16,

@@ -74,18 +74,11 @@ pub fn time_to_accuracy(
     }
 
     // Timing plane: price a step.
-    let mut sim =
-        TrainingSim::new(TrainingSimConfig::new(cluster, comm_profile, engine));
+    let mut sim = TrainingSim::new(TrainingSimConfig::new(cluster, comm_profile, engine));
     let _ = sim.run_iteration(); // warm-up
-    let secs: f64 =
-        (0..3).map(|_| sim.run_iteration().as_secs_f64()).sum::<f64>() / 3.0;
+    let secs: f64 = (0..3).map(|_| sim.run_iteration().as_secs_f64()).sum::<f64>() / 3.0;
 
-    TimeToAccuracy {
-        steps,
-        secs_per_step: secs,
-        total_secs: steps as f64 * secs,
-        accuracy,
-    }
+    TimeToAccuracy { steps, secs_per_step: secs, total_secs: steps as f64 * secs, accuracy }
 }
 
 #[cfg(test)]

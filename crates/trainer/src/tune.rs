@@ -17,13 +17,12 @@ use aiacc_dnn::ModelProfile;
 
 /// Maps a tuner lattice point onto an AIACC engine configuration.
 pub fn aiacc_config_from(t: &TuningConfig) -> AiaccConfig {
-    AiaccConfig::default()
-        .with_streams(t.streams)
-        .with_granularity(t.granularity)
-        .with_algo(match t.algo {
+    AiaccConfig::default().with_streams(t.streams).with_granularity(t.granularity).with_algo(
+        match t.algo {
             TuneAlgo::Ring => Algo::Ring,
             TuneAlgo::Tree => Algo::Tree,
-        })
+        },
+    )
 }
 
 /// The computation-graph signature of a model: its layer-kind sequence
@@ -138,8 +137,7 @@ mod tests {
         let (_, second) = tune_aiacc(&model, &cluster, 10, 2, Some(&cache));
         assert_eq!(second.evaluations[0].searcher, "warm-start");
         assert_eq!(
-            second.evaluations[0].config.streams,
-            first.best.streams,
+            second.evaluations[0].config.streams, first.best.streams,
             "warm start did not seed the previous best"
         );
     }

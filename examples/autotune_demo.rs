@@ -36,10 +36,7 @@ fn main() {
     // from the cached winner (§VI: graph-edit-distance similarity).
     println!("\nRe-tuning on a similar deployment (same model, 64 GPUs)...");
     let (cfg2, report2) = tune_aiacc(&model, &ClusterSpec::tcp_v100(64), 15, 8, Some(&cache));
-    println!(
-        "first evaluation came from: {:?} (warm start)",
-        report2.evaluations[0].searcher
-    );
+    println!("first evaluation came from: {:?} (warm start)", report2.evaluations[0].searcher);
     println!(
         "tuned: {} streams, {:.0} MiB, {:?}",
         cfg2.streams,

@@ -43,9 +43,6 @@ fn main() {
             100.0 * scaling_efficiency(&single, r),
         );
     }
-    println!(
-        "\nAIACC-Training speedup over Horovod: {:.2}x",
-        speedup(&aiacc, &horovod)
-    );
+    println!("\nAIACC-Training speedup over Horovod: {:.2}x", speedup(&aiacc, &horovod));
     println!("(the paper reports 1.3x on ResNet-50 at 32 GPUs, growing with scale — §III)");
 }

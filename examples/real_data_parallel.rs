@@ -15,16 +15,10 @@ fn main() {
     let batch = 16;
     println!("Training a real MLP on {world} workers (batch {batch}/worker)...\n");
 
-    let mut distributed = DataParallelTrainer::new(DataParallelConfig::new(
-        vec![8, 64, 32, 4],
-        world,
-        batch,
-    ));
-    let mut single = DataParallelTrainer::new(DataParallelConfig::new(
-        vec![8, 64, 32, 4],
-        1,
-        world * batch,
-    ));
+    let mut distributed =
+        DataParallelTrainer::new(DataParallelConfig::new(vec![8, 64, 32, 4], world, batch));
+    let mut single =
+        DataParallelTrainer::new(DataParallelConfig::new(vec![8, 64, 32, 4], 1, world * batch));
 
     for step in 0..100u32 {
         let l_multi = distributed.step();
@@ -39,11 +33,7 @@ fn main() {
     // The invariant data parallelism rests on:
     let a = distributed.model().params_flat();
     let b = single.model().params_flat();
-    let max_diff = a
-        .iter()
-        .zip(&b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f32, f32::max);
+    let max_diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
     println!("\nmax parameter difference distributed vs single-worker: {max_diff:.2e}");
     assert!(max_diff < 1e-3, "data-parallel training diverged from the reference");
 

@@ -11,7 +11,9 @@ use aiacc::prelude::*;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_string());
     let Some(model) = zoo::by_name(&name) else {
-        eprintln!("unknown model {name}; try vgg16 / resnet50 / resnet101 / transformer / bert_large");
+        eprintln!(
+            "unknown model {name}; try vgg16 / resnet50 / resnet101 / transformer / bert_large"
+        );
         std::process::exit(2);
     };
 

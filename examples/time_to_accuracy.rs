@@ -18,20 +18,14 @@ fn main() {
 
     println!("Training a real 8->48->4 MLP on 8 workers to {:.0}% accuracy,", target * 100.0);
     println!("priced as a VGG-16-sized communication footprint on 32 V100s / 30Gbps TCP:\n");
-    println!(
-        "{:<14} {:>7} {:>14} {:>16}",
-        "engine", "steps", "s per step", "wall-clock (s)"
-    );
+    println!("{:<14} {:>7} {:>14} {:>16}", "engine", "steps", "s per step", "wall-clock (s)");
     for (name, engine) in [
         ("aiacc", EngineKind::aiacc_default()),
         ("horovod", EngineKind::Horovod(Default::default())),
         ("pytorch-ddp", EngineKind::PyTorchDdp(Default::default())),
     ] {
         let t = time_to_accuracy(dp.clone(), target, 2000, cluster.clone(), zoo::vgg16(), engine);
-        println!(
-            "{:<14} {:>7} {:>14.4} {:>16.2}",
-            name, t.steps, t.secs_per_step, t.total_secs
-        );
+        println!("{:<14} {:>7} {:>14.4} {:>16.2}", name, t.steps, t.secs_per_step, t.total_secs);
     }
     println!("\nSame convergence, different wall-clock: communication is the whole story. ✓");
 }

@@ -5,14 +5,17 @@
 //! aiacc-sim [--model NAME] [--gpus N] [--engine aiacc|horovod|ddp|byteps|kvstore]
 //!           [--streams N] [--granularity MIB] [--batch N] [--rdma]
 //!           [--compression] [--tree] [--tune BUDGET] [--iters N]
+//!           [--faults degrade|flap|straggler|crash]
 //! ```
 //!
 //! Examples:
 //! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
 //! `aiacc-sim --model bert_large --gpus 64 --rdma --tune 40`
+//! `aiacc-sim --model resnet50 --gpus 16 --faults degrade`
 
 use aiacc::collectives::Algo;
 use aiacc::prelude::*;
+use aiacc::simnet::FaultPlan;
 use aiacc::trainer::tune::tune_aiacc;
 
 struct Args {
@@ -27,6 +30,43 @@ struct Args {
     tree: bool,
     tune: Option<usize>,
     iters: usize,
+    faults: Option<String>,
+}
+
+/// Builds the canned fault scenario selected by `--faults`.
+///
+/// Each scenario targets logical nodes, so it adapts to any cluster size;
+/// the training simulation resolves node targets to that node's NIC
+/// resources.
+fn fault_scenario(name: &str, nodes: usize) -> Result<FaultPlan, String> {
+    let last = nodes.saturating_sub(1) as u32;
+    match name {
+        // Every NIC loses half its capacity early on and never recovers.
+        "degrade" => {
+            let mut plan = FaultPlan::new();
+            for n in 0..nodes as u32 {
+                plan = plan.degrade_node(n, 0.5, SimTime::from_secs_f64(0.1), None);
+            }
+            Ok(plan)
+        }
+        // The last node's NIC goes dark for 100 ms mid-iteration.
+        "flap" => Ok(FaultPlan::new().with_event(aiacc::simnet::FaultEvent {
+            target: aiacc::simnet::FaultTarget::Node(last),
+            kind: aiacc::simnet::FaultKind::Flap,
+            at: SimTime::from_secs_f64(0.3),
+            duration: Some(SimDuration::from_secs_f64(0.1)),
+        })),
+        // One node computes 1.5× slower for a two-second window.
+        "straggler" => Ok(FaultPlan::new().straggle_node(
+            last,
+            1.5,
+            SimTime::from_secs_f64(0.2),
+            Some(SimDuration::from_secs_f64(2.0)),
+        )),
+        // One node dies mid-run; the job pays a checkpoint restart.
+        "crash" => Ok(FaultPlan::new().crash_node(last, SimTime::from_secs_f64(1.0))),
+        other => Err(format!("unknown fault scenario {other}; use degrade|flap|straggler|crash")),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,10 +82,11 @@ fn parse_args() -> Result<Args, String> {
         tree: false,
         tune: None,
         iters: 3,
+        faults: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut value = |i: &mut usize| -> Result<String, String> {
+    let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         argv.get(*i).cloned().ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
     };
@@ -70,11 +111,15 @@ fn parse_args() -> Result<Args, String> {
             "--tune" => {
                 args.tune = Some(value(&mut i)?.parse().map_err(|e| format!("--tune: {e}"))?)
             }
-            "--iters" => args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--iters" => {
+                args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?
+            }
+            "--faults" => args.faults = Some(value(&mut i)?),
             "--help" | "-h" => {
                 return Err("usage: aiacc-sim [--model NAME] [--gpus N] [--engine E] \
                             [--streams N] [--granularity MIB] [--batch N] [--rdma] \
-                            [--compression] [--tree] [--tune BUDGET] [--iters N]"
+                            [--compression] [--tree] [--tune BUDGET] [--iters N] \
+                            [--faults degrade|flap|straggler|crash]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -106,7 +151,23 @@ fn main() {
         ClusterSpec::tcp_v100(args.gpus)
     };
 
+    let fault_plan = match args.faults.as_deref() {
+        Some(name) => match fault_scenario(name, cluster.nodes) {
+            Ok(plan) => Some(plan),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     let mut aiacc_cfg = AiaccConfig::default();
+    if fault_plan.is_some() {
+        // Under injected faults, arm the stall watchdog so hung streams are
+        // resubmitted instead of wedging the iteration.
+        aiacc_cfg = aiacc_cfg.with_stall_timeout(SimDuration::from_secs_f64(0.5));
+    }
     if let Some(s) = args.streams {
         aiacc_cfg = aiacc_cfg.with_streams(s);
     }
@@ -148,6 +209,14 @@ fn main() {
     if let Some(b) = args.batch {
         cfg = cfg.with_batch(b);
     }
+    if let Some(plan) = &fault_plan {
+        eprintln!(
+            "[aiacc-sim] fault scenario `{}`: {} event(s)",
+            args.faults.as_deref().unwrap(),
+            plan.events().len()
+        );
+        cfg = cfg.with_faults(plan.clone());
+    }
     let mut sim = TrainingSim::new(cfg);
     let _ = sim.run_iteration(); // warm-up
     let detail = sim.run_iteration_detailed();
@@ -159,4 +228,10 @@ fn main() {
         detail.comm_done_secs * 1e3,
         detail.comm_tail_secs() * 1e3,
     );
+    if detail.fault_impacted() {
+        println!(
+            "fault impact: {} capacity event(s) | {} crash(es) | {:.2} s recovering",
+            detail.fault_events, detail.crashes, detail.recovery_secs,
+        );
+    }
 }

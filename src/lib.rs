@@ -63,10 +63,15 @@ pub mod prelude {
     pub use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel};
     pub use aiacc_collectives::dataplane::{ring_allreduce, tree_allreduce, ReduceOp};
     pub use aiacc_collectives::{Algo, CollectiveEngine, CollectiveSpec, RingMode};
-    pub use aiacc_core::{AiaccConfig, AiaccEngine, GradientRegistry, Perseus, PerseusConfig, SyncVector};
+    pub use aiacc_core::{
+        AiaccConfig, AiaccEngine, GradientRegistry, Perseus, PerseusConfig, SyncVector,
+    };
     pub use aiacc_dnn::{data::Dataset, zoo, DType, Mlp, MlpConfig, ModelProfile, Tensor};
     pub use aiacc_optim::{Adam, AdamSgd, Optimizer, Sgd};
-    pub use aiacc_simnet::{Event, FlowSpec, SimDuration, SimTime, Simulator};
+    pub use aiacc_simnet::{
+        Event, FaultEvent, FaultKind, FaultPlan, FaultTarget, FlowSpec, SimDuration, SimTime,
+        Simulator,
+    };
     pub use aiacc_trainer::{
         run_training_sim, scaling_efficiency, speedup, DataParallelConfig, DataParallelTrainer,
         EngineKind, Framework, ThroughputReport, TrainingSim, TrainingSimConfig,

@@ -75,10 +75,7 @@ fn all_optimizers_train_the_distributed_mlp() {
             first_loss.get_or_insert(last_loss);
         }
         let first = first_loss.unwrap();
-        assert!(
-            last_loss < first * 0.6,
-            "{name}: loss did not improve ({first} -> {last_loss})"
-        );
+        assert!(last_loss < first * 0.6, "{name}: loss did not improve ({first} -> {last_loss})");
     }
 }
 
@@ -93,10 +90,7 @@ fn fp16_wire_compression_precision_is_adequate_for_training() {
     let test = Dataset::gaussian_blobs(1000, 4, 3, 12345);
     let acc_exact = exact.accuracy(&test);
     let acc_lossy = lossy.accuracy(&test);
-    assert!(
-        acc_lossy > acc_exact - 0.05,
-        "fp16 wire hurt accuracy: {acc_exact} vs {acc_lossy}"
-    );
+    assert!(acc_lossy > acc_exact - 0.05, "fp16 wire hurt accuracy: {acc_exact} vs {acc_lossy}");
 }
 
 #[test]
@@ -208,11 +202,8 @@ fn gradient_values_survive_pack_unpack_at_any_granularity() {
     // several granularities, world sizes 2..5.
     for world in 2..=5 {
         for gran in [8.0, 64.0, 4096.0, 1e9] {
-            let layout = vec![
-                ("a".to_string(), 17usize),
-                ("b".to_string(), 1),
-                ("c".to_string(), 130),
-            ];
+            let layout =
+                vec![("a".to_string(), 17usize), ("b".to_string(), 1), ("c".to_string(), 130)];
             let p = Perseus::new(&layout, PerseusConfig::new(world).with_granularity(gran));
             let grads: Vec<Vec<Vec<f32>>> = (0..world)
                 .map(|w| {
@@ -225,8 +216,7 @@ fn gradient_values_survive_pack_unpack_at_any_granularity() {
             let out = p.allreduce_step(grads.clone());
             for (t, (_, n)) in layout.iter().enumerate() {
                 for i in 0..*n {
-                    let mean: f32 =
-                        (0..world).map(|w| grads[w][t][i]).sum::<f32>() / world as f32;
+                    let mean: f32 = (0..world).map(|w| grads[w][t][i]).sum::<f32>() / world as f32;
                     assert!(
                         (out[t][i] - mean).abs() < 1e-3,
                         "world {world} gran {gran} tensor {t} elem {i}"

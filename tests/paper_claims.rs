@@ -21,12 +21,7 @@ fn aiacc_beats_every_baseline_on_every_table1_model_at_32_gpus() {
             EngineKind::MxnetKvStore(Default::default()),
         ] {
             let b = throughput(model.clone(), 32, engine);
-            assert!(
-                a > b,
-                "{}: aiacc {a:.0} <= {} {b:.0}",
-                model.name(),
-                engine.label()
-            );
+            assert!(a > b, "{}: aiacc {a:.0} <= {} {b:.0}", model.name(), engine.label());
         }
     }
 }

@@ -2,9 +2,9 @@
 //! §VIII-D observations).
 
 use aiacc::autotune::cache::TuningCache;
+use aiacc::autotune::{Objective, TuneAlgo, TuningConfig};
 use aiacc::prelude::*;
 use aiacc::trainer::tune::{aiacc_config_from, graph_signature, tune_aiacc, SimObjective};
-use aiacc::autotune::{Objective, TuneAlgo, TuningConfig};
 
 #[test]
 fn tuner_beats_the_worst_corner_comfortably() {
@@ -80,7 +80,8 @@ fn warm_start_transfers_across_similar_deployments() {
     let (_, report) = tune_aiacc(&model, &ClusterSpec::tcp_v100(32), 10, 2, Some(&cache));
     assert_eq!(report.evaluations[0].searcher, "warm-start");
     // A very different model must NOT inherit the prior.
-    let (_, fresh) = tune_aiacc(&zoo::ctr_production(), &ClusterSpec::tcp_v100(16), 8, 3, Some(&cache));
+    let (_, fresh) =
+        tune_aiacc(&zoo::ctr_production(), &ClusterSpec::tcp_v100(16), 8, 3, Some(&cache));
     assert_ne!(fresh.evaluations[0].searcher, "warm-start");
 }
 
@@ -91,10 +92,8 @@ fn graph_signatures_feed_the_cache_sensibly() {
     let c = graph_signature(&zoo::bert_large());
     // Normalized by the longer chain, as the cache lookup does: raw edit
     // distance would favour chains of similar *length* over similar content.
-    let norm = |x: &aiacc::autotune::cache::GraphSig,
-                y: &aiacc::autotune::cache::GraphSig| {
-        aiacc::autotune::cache::graph_edit_distance(x, y) as f64
-            / x.0.len().max(y.0.len()) as f64
+    let norm = |x: &aiacc::autotune::cache::GraphSig, y: &aiacc::autotune::cache::GraphSig| {
+        aiacc::autotune::cache::graph_edit_distance(x, y) as f64 / x.0.len().max(y.0.len()) as f64
     };
     let d_ab = norm(&a, &b);
     let d_ac = norm(&a, &c);

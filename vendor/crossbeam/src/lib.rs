@@ -1,0 +1,146 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Only the `channel` module is provided, layered over `std::sync::mpsc`.
+//! Unlike real crossbeam the receiver is single-consumer, which is all the
+//! workspace needs (one coordinator thread drains each receiver).
+
+/// Multi-producer channels (stub of `crossbeam::channel`).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        inner: SenderInner<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
+                SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
+            };
+            Sender { inner }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking if the channel is bounded and full.
+        ///
+        /// # Errors
+        /// Returns the message if the receiving side has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+                SenderInner::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        /// Fails once every sender has been dropped and the queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None`-shaped errors map to `Err`.
+        ///
+        /// # Errors
+        /// Fails if the queue is currently empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.inner.try_recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates over messages until the channel disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: SenderInner::Unbounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: SenderInner::Bounded(tx) }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_reply_channel() {
+            let (tx, rx) = bounded(1);
+            tx.send("ok").unwrap();
+            assert_eq!(rx.recv(), Ok("ok"));
+        }
+    }
+}

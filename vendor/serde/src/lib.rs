@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace builds in a network-isolated environment; no code path
+//! actually serializes (there is no `serde_json`/`bincode` in the tree),
+//! so `Serialize`/`Deserialize` only need to exist as names for the
+//! `#[derive(...)]` attributes to resolve. The derives (re-exported from
+//! the stub `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

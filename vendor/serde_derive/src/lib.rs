@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace builds in a network-isolated environment, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) is unavailable.
+//! Nothing in the workspace serializes through serde at runtime — the
+//! derives are only used as markers on config/spec types — so the derive
+//! macros here expand to an empty token stream. If real serialization is
+//! ever needed, swap this stub for the upstream crate.
+
+use proc_macro::TokenStream;
+
+/// Stub `#[derive(Serialize)]`: expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub `#[derive(Deserialize)]`: expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
