@@ -8,6 +8,7 @@
 //! per CUDA stream (Fig. 7b).
 
 use aiacc_cluster::{ClusterNet, ClusterSpec};
+use aiacc_simnet::trace::track;
 use aiacc_simnet::{FlowId, FlowSpec, SimDuration, Simulator};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -88,6 +89,15 @@ impl CollectiveSpec {
 struct OpState {
     pending: usize,
     phases: VecDeque<Vec<FlowSpec>>,
+    /// Index of the phase currently in flight (for trace span naming).
+    phase_idx: usize,
+    /// Whether any phase has been started (i.e. `phase_idx` is meaningful).
+    started: bool,
+}
+
+/// Trace span name of one phase of an operation.
+fn phase_span_name(op_id: u64, phase_idx: usize) -> String {
+    format!("op#{op_id} phase{phase_idx}")
 }
 
 /// Multiplexer for concurrently running collective operations.
@@ -165,7 +175,7 @@ impl CollectiveEngine {
         let phases = build_phases(cluster, spec);
         let id = self.next_id;
         self.next_id += 1;
-        let mut state = OpState { pending: 0, phases };
+        let mut state = OpState { pending: 0, phases, phase_idx: 0, started: false };
         self.start_next_phase(sim, id, &mut state);
         self.ops.insert(id, state);
         OpId(id)
@@ -184,7 +194,7 @@ impl CollectiveEngine {
         assert!(phases.iter().all(|p| !p.is_empty()), "empty phase in custom op");
         let id = self.next_id;
         self.next_id += 1;
-        let mut state = OpState { pending: 0, phases };
+        let mut state = OpState { pending: 0, phases, phase_idx: 0, started: false };
         self.start_next_phase(sim, id, &mut state);
         self.ops.insert(id, state);
         OpId(id)
@@ -195,14 +205,29 @@ impl CollectiveEngine {
     /// the operation is unknown (already finished or never launched). Used by
     /// engine watchdogs to resubmit work stalled on a faulted link.
     pub fn cancel_op(&mut self, sim: &mut Simulator, op: OpId) -> bool {
-        if self.ops.remove(&op.0).is_none() {
+        let Some(state) = self.ops.remove(&op.0) else {
             return false;
+        };
+        if sim.tracing_enabled() && state.started && state.pending > 0 {
+            sim.trace_span_end(
+                track::COLLECTIVES,
+                op.0,
+                &phase_span_name(op.0, state.phase_idx),
+                "collective",
+            );
+            sim.trace_instant(
+                track::COLLECTIVES,
+                op.0,
+                &format!("op#{} cancelled", op.0),
+                "collective",
+                None,
+            );
         }
         let flows: Vec<FlowId> =
             self.flow_to_op.iter().filter(|&(_, &o)| o == op.0).map(|(&f, _)| f).collect();
         for f in flows {
             self.flow_to_op.remove(&f);
-            sim.net_mut().cancel_flow(f);
+            sim.cancel_flow(f);
         }
         true
     }
@@ -211,8 +236,34 @@ impl CollectiveEngine {
     /// hammer for a simulated node crash, where the whole synchronous job
     /// restarts and nothing in flight can be salvaged.
     pub fn cancel_all(&mut self, sim: &mut Simulator) {
-        for (&f, _) in self.flow_to_op.iter() {
-            sim.net_mut().cancel_flow(f);
+        if sim.tracing_enabled() {
+            // Close open phase spans deterministically (ascending op id).
+            let mut open: Vec<(u64, usize)> = self
+                .ops
+                .iter()
+                .filter(|(_, s)| s.started && s.pending > 0)
+                .map(|(&id, s)| (id, s.phase_idx))
+                .collect();
+            open.sort_unstable();
+            for (id, phase_idx) in open {
+                sim.trace_span_end(
+                    track::COLLECTIVES,
+                    id,
+                    &phase_span_name(id, phase_idx),
+                    "collective",
+                );
+                sim.trace_instant(
+                    track::COLLECTIVES,
+                    id,
+                    &format!("op#{id} cancelled"),
+                    "collective",
+                    None,
+                );
+            }
+        }
+        let flows: Vec<FlowId> = self.flow_to_op.keys().copied().collect();
+        for f in flows {
+            sim.cancel_flow(f);
         }
         self.flow_to_op.clear();
         self.ops.clear();
@@ -225,6 +276,14 @@ impl CollectiveEngine {
         let mut state = self.ops.remove(&op_id).expect("op exists for tracked flow");
         state.pending -= 1;
         if state.pending == 0 {
+            if sim.tracing_enabled() {
+                sim.trace_span_end(
+                    track::COLLECTIVES,
+                    op_id,
+                    &phase_span_name(op_id, state.phase_idx),
+                    "collective",
+                );
+            }
             self.start_next_phase(sim, op_id, &mut state);
             if state.pending == 0 {
                 return Some(OpId(op_id)); // no more phases: done
@@ -238,6 +297,19 @@ impl CollectiveEngine {
         while let Some(flows) = state.phases.pop_front() {
             if flows.is_empty() {
                 continue;
+            }
+            if state.started {
+                state.phase_idx += 1;
+            } else {
+                state.started = true;
+            }
+            if sim.tracing_enabled() {
+                sim.trace_span_begin(
+                    track::COLLECTIVES,
+                    op_id,
+                    &phase_span_name(op_id, state.phase_idx),
+                    "collective",
+                );
             }
             state.pending = flows.len();
             for f in flows {

@@ -71,4 +71,12 @@ pub trait DdlEngine {
     /// `true` once every registered gradient has been aggregated across all
     /// workers for the current iteration.
     fn comm_done(&self) -> bool;
+
+    /// The AIACC per-iteration counters, when this engine exposes them.
+    /// Baselines return `None` (the default); [`crate::AiaccEngine`] reports
+    /// its [`crate::AiaccStats`] so harnesses can cross-check them against
+    /// trace-derived metrics (e.g. lane count vs `peak_streams`).
+    fn aiacc_stats(&self) -> Option<crate::AiaccStats> {
+        None
+    }
 }

@@ -22,7 +22,8 @@ use crate::syncvec::SyncVector;
 use aiacc_collectives::timing::sync_round_latency;
 use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
 use aiacc_dnn::{DType, GradId, ModelProfile};
-use aiacc_simnet::{FaultRecord, SimDuration, Token};
+use aiacc_simnet::trace::track;
+use aiacc_simnet::{FaultRecord, SimDuration, SimTime, Token};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
@@ -149,6 +150,16 @@ struct InflightUnit {
     unit: AllReduceUnit,
     /// Times this unit has been (re)submitted; scales the watchdog timeout.
     attempts: u32,
+    /// Stream slot occupied while in flight (trace lane; Fig. 7 lanes are
+    /// reconstructed from this assignment).
+    slot: usize,
+    /// When this attempt was dispatched (for resubmission-latency tracing).
+    submitted_at: SimTime,
+}
+
+/// Trace span name of one in-flight unit attempt.
+fn unit_span_name(op: OpId, bytes: f64) -> String {
+    format!("op#{} {:.1} MiB", op.0, bytes / (1024.0 * 1024.0))
 }
 
 /// The AIACC-Training communication engine (timing plane).
@@ -242,6 +253,14 @@ impl AiaccEngine {
         if bucket_full || flush {
             self.sync_in_flight = true;
             self.stats.sync_rounds += 1;
+            if cx.sim.tracing_enabled() {
+                cx.sim.trace_span_begin(
+                    track::ENGINE,
+                    0,
+                    &format!("sync#{}", self.stats.sync_rounds),
+                    "sync",
+                );
+            }
             let latency = sync_round_latency(cx.cluster.spec());
             cx.sim.schedule(latency, Token::new(ENGINE_TIMER_KIND, TIMER_SYNC_DONE, self.iter));
         }
@@ -251,6 +270,14 @@ impl AiaccEngine {
     /// newly agreed gradients, dispatch.
     fn finish_sync(&mut self, cx: &mut DdlCtx<'_>) {
         self.sync_in_flight = false;
+        if cx.sim.tracing_enabled() {
+            cx.sim.trace_span_end(
+                track::ENGINE,
+                0,
+                &format!("sync#{}", self.stats.sync_rounds),
+                "sync",
+            );
+        }
         let agreed = SyncVector::intersect_all(&self.ready);
         let mut new_ids: Vec<GradId> = Vec::new();
         for id in agreed.iter_ready() {
@@ -296,6 +323,20 @@ impl AiaccEngine {
             self.submit(cx, unit, 0);
         }
         self.stats.peak_streams = self.stats.peak_streams.max(self.inflight.len());
+        if cx.sim.tracing_enabled() {
+            cx.sim.trace_counter(track::ENGINE, "queue_depth", self.queue.len() as f64);
+        }
+    }
+
+    /// The lowest stream slot not occupied by an in-flight unit. Re-using
+    /// the smallest free index keeps trace lanes dense, so the number of
+    /// distinct lanes equals the peak concurrent stream count.
+    fn alloc_slot(&self) -> usize {
+        let mut slot = 0;
+        while self.inflight.values().any(|u| u.slot == slot) {
+            slot += 1;
+        }
+        slot
     }
 
     /// Launches one unit as a collective and arms its stall watchdog.
@@ -305,11 +346,23 @@ impl AiaccEngine {
         let op = cx.coll.launch(cx.sim, cx.cluster, spec);
         if let Some(base) = self.cfg.stall_timeout {
             // Exponential backoff: each retry waits twice as long before
-            // declaring the unit stalled again.
+            // declaring the unit stalled again. `mul_f64` saturates, so a
+            // huge backoff schedules at the clamped far future, not in the
+            // past.
             let timeout = base.mul_f64(f64::from(1u32 << attempts.min(16)));
             cx.sim.schedule(timeout, Token::new(ENGINE_TIMER_KIND, TIMER_UNIT_STALL, op.0));
         }
-        self.inflight.insert(op, InflightUnit { unit, attempts });
+        let slot = self.alloc_slot();
+        if cx.sim.tracing_enabled() {
+            cx.sim.trace_span_begin(
+                track::STREAMS,
+                slot as u64,
+                &unit_span_name(op, unit.bytes),
+                "unit",
+            );
+        }
+        let submitted_at = cx.sim.now();
+        self.inflight.insert(op, InflightUnit { unit, attempts, slot, submitted_at });
         self.stats.units_launched += 1;
     }
 
@@ -320,6 +373,16 @@ impl AiaccEngine {
             return; // completed before the watchdog fired
         };
         cx.coll.cancel_op(cx.sim, op);
+        if cx.sim.tracing_enabled() {
+            cx.sim.trace_span_end(
+                track::STREAMS,
+                inflight.slot as u64,
+                &unit_span_name(op, inflight.unit.bytes),
+                "unit",
+            );
+            let waited = cx.sim.now().saturating_since(inflight.submitted_at).as_secs_f64();
+            cx.sim.trace_instant(track::ENGINE, 0, "resubmit", "watchdog", Some(waited));
+        }
         self.stats.resubmissions += 1;
         self.submit(cx, inflight.unit, inflight.attempts + 1);
     }
@@ -335,7 +398,30 @@ impl DdlEngine for AiaccEngine {
         )
     }
 
-    fn begin_iteration(&mut self, _cx: &mut DdlCtx<'_>, iter: u64) {
+    fn begin_iteration(&mut self, cx: &mut DdlCtx<'_>, iter: u64) {
+        if cx.sim.tracing_enabled() {
+            // An aborted attempt (node crash) can leave spans open; close
+            // them so traces stay balanced. Deterministic order: op id.
+            if self.sync_in_flight {
+                cx.sim.trace_span_end(
+                    track::ENGINE,
+                    0,
+                    &format!("sync#{}", self.stats.sync_rounds),
+                    "sync",
+                );
+            }
+            let mut open: Vec<(OpId, usize, f64)> =
+                self.inflight.iter().map(|(&op, u)| (op, u.slot, u.unit.bytes)).collect();
+            open.sort_by_key(|&(op, _, _)| op);
+            for (op, slot, bytes) in open {
+                cx.sim.trace_span_end(
+                    track::STREAMS,
+                    slot as u64,
+                    &unit_span_name(op, bytes),
+                    "unit",
+                );
+            }
+        }
         self.iter = iter;
         for v in &mut self.ready {
             v.clear();
@@ -368,6 +454,14 @@ impl DdlEngine for AiaccEngine {
 
     fn on_collective_done(&mut self, cx: &mut DdlCtx<'_>, op: OpId) {
         let inflight = self.inflight.remove(&op).expect("collective completion for unknown unit");
+        if cx.sim.tracing_enabled() {
+            cx.sim.trace_span_end(
+                track::STREAMS,
+                inflight.slot as u64,
+                &unit_span_name(op, inflight.unit.bytes),
+                "unit",
+            );
+        }
         self.tracker.complete_unit(&inflight.unit);
         self.dispatch(cx);
     }
@@ -398,6 +492,10 @@ impl DdlEngine for AiaccEngine {
 
     fn comm_done(&self) -> bool {
         self.tracker.all_done()
+    }
+
+    fn aiacc_stats(&self) -> Option<AiaccStats> {
+        Some(self.stats)
     }
 }
 

@@ -47,7 +47,7 @@ mod syncvec;
 pub mod translate;
 pub mod wire;
 
-pub use engine::{AiaccConfig, AiaccEngine};
+pub use engine::{AiaccConfig, AiaccEngine, AiaccStats};
 pub use perseus::{Perseus, PerseusConfig};
 pub use perseus_mt::{perseus_world, PerseusHandle};
 pub use queue::{Bucket, GradientQueue};

@@ -16,6 +16,9 @@
 //!   degradation and flaps executed by the simulator itself (surfaced as
 //!   [`Event::Fault`]), plus node-scoped stragglers and crashes consumed by
 //!   the training layers.
+//! * [`trace`] — `aiacc-trace`: a zero-overhead-when-off structured tracing
+//!   sink ([`TraceSink`]) owned by the simulator, with Chrome-trace/Perfetto
+//!   JSON export and overlap/busy-time summaries.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ mod flownet;
 mod sim;
 mod telemetry;
 mod time;
+pub mod trace;
 
 pub use faults::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultRecord, FaultTarget};
 pub use flow::{Flow, FlowId, FlowSpec};
@@ -56,3 +60,4 @@ pub use flownet::{FlowNet, Resource, ResourceId};
 pub use sim::{Event, Simulator, Token};
 pub use telemetry::{AnnotatedSample, UtilizationProbe};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TracePhase, TraceSink, TraceSummary};

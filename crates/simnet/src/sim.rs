@@ -4,6 +4,7 @@ use crate::faults::{FaultInjector, FaultPlan, FaultRecord};
 use crate::flow::{FlowId, FlowSpec};
 use crate::flownet::FlowNet;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{track, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -87,6 +88,8 @@ pub struct Simulator {
     faults: FaultInjector,
     /// Every fault action executed so far, in order.
     fault_log: Vec<(SimTime, FaultRecord)>,
+    /// Structured trace recorder (disabled — and free — by default).
+    trace: TraceSink,
 }
 
 impl Simulator {
@@ -127,7 +130,79 @@ impl Simulator {
 
     /// Starts a network flow at the current time.
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
-        self.net.start_flow(spec)
+        let id = self.net.start_flow(spec);
+        if self.trace.is_enabled() {
+            let (t, n) = (self.now(), self.net.flow_count() as f64);
+            self.trace.counter(t, track::NET, "active_flows", n);
+        }
+        id
+    }
+
+    /// Cancels a flow (see [`FlowNet::cancel_flow`]), recording the
+    /// rate-change in the trace when tracing is armed. Returns `false` when
+    /// the flow is unknown or already finished.
+    pub fn cancel_flow(&mut self, id: FlowId) -> bool {
+        let cancelled = self.net.cancel_flow(id);
+        if cancelled && self.trace.is_enabled() {
+            let (t, n) = (self.now(), self.net.flow_count() as f64);
+            self.trace.counter(t, track::NET, "active_flows", n);
+        }
+        cancelled
+    }
+
+    /// Arms the structured trace sink; see [`crate::trace`]. Until this is
+    /// called, every trace record is a no-op and simulation behavior is
+    /// bit-identical to an un-instrumented run.
+    pub fn enable_tracing(&mut self) {
+        self.trace.enable();
+    }
+
+    /// Whether tracing is armed. Call sites that build event names with
+    /// `format!` should check this first so the disabled path stays
+    /// allocation-free.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// The trace sink (for export and summary analysis).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the trace sink.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Opens a trace span on `(pid, tid)` at the current virtual time.
+    pub fn trace_span_begin(&mut self, pid: u32, tid: u64, name: &str, cat: &'static str) {
+        let t = self.now();
+        self.trace.span_begin(t, pid, tid, name, cat);
+    }
+
+    /// Closes a trace span on `(pid, tid)` at the current virtual time.
+    pub fn trace_span_end(&mut self, pid: u32, tid: u64, name: &str, cat: &'static str) {
+        let t = self.now();
+        self.trace.span_end(t, pid, tid, name, cat);
+    }
+
+    /// Records an instant trace event at the current virtual time.
+    pub fn trace_instant(
+        &mut self,
+        pid: u32,
+        tid: u64,
+        name: &str,
+        cat: &'static str,
+        value: Option<f64>,
+    ) {
+        let t = self.now();
+        self.trace.instant(t, pid, tid, name, cat, value);
+    }
+
+    /// Records a counter sample at the current virtual time.
+    pub fn trace_counter(&mut self, pid: u32, name: &str, value: f64) {
+        let t = self.now();
+        self.trace.counter(t, pid, name, value);
     }
 
     /// Installs (replaces) the link-fault schedule of `plan`.
@@ -172,6 +247,10 @@ impl Simulator {
                 self.net.advance_to(tf);
                 let rec = self.faults.apply_next(&mut self.net);
                 self.fault_log.push((tf, rec));
+                if self.trace.is_enabled() {
+                    let name = format!("fault {:?} r{}", rec.phase, rec.resource.as_u32());
+                    self.trace.instant(tf, track::NET, 0, &name, "fault", Some(rec.capacity_after));
+                }
                 return Some((tf, Event::Fault(rec)));
             }
         }
@@ -193,6 +272,10 @@ impl Simulator {
                 // Deliver in id order: pop() takes from the back.
                 done.reverse();
                 self.pending_flows = done;
+                if self.trace.is_enabled() {
+                    let (t, n) = (self.now(), self.net.flow_count() as f64);
+                    self.trace.counter(t, track::NET, "active_flows", n);
+                }
                 let id = self.pending_flows.pop().expect("nonempty");
                 Some((self.now(), Event::FlowCompleted(id)))
             }

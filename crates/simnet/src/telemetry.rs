@@ -27,7 +27,10 @@ pub struct AnnotatedSample {
     pub capacity_now: f64,
     /// Fault applications/restorations on this resource inside the window
     /// (half-open: strictly after the previous sample, up to and including
-    /// this one).
+    /// this one). The probe's *first* window is closed on the left instead —
+    /// it also includes faults applied at exactly the probe's creation time,
+    /// so a boundary fault is attributed to exactly one window rather than
+    /// none.
     pub faults: Vec<(SimTime, FaultRecord)>,
 }
 
@@ -51,6 +54,9 @@ pub struct UtilizationProbe {
     capacity: f64,
     last_carried: f64,
     last_time: SimTime,
+    /// Whether the next sample is the probe's first window, which includes
+    /// its left boundary (faults at exactly the creation instant).
+    first_window: bool,
 }
 
 impl UtilizationProbe {
@@ -61,6 +67,7 @@ impl UtilizationProbe {
             capacity: net.resource(resource).capacity,
             last_carried: net.carried_bytes(resource),
             last_time: net.now(),
+            first_window: true,
         }
     }
 
@@ -78,6 +85,7 @@ impl UtilizationProbe {
         let moved = carried - self.last_carried;
         self.last_carried = carried;
         self.last_time = now;
+        self.first_window = false;
         if dt <= 0.0 {
             0.0
         } else {
@@ -95,12 +103,19 @@ impl UtilizationProbe {
         fault_log: &[(SimTime, FaultRecord)],
     ) -> AnnotatedSample {
         let window_start = self.last_time;
+        // The first window includes its left boundary: a fault applied at
+        // exactly the probe's creation time belongs to this window, not to
+        // no window at all. Later windows stay half-open (a boundary fault
+        // was already reported by the sample ending at that instant).
+        let include_start = self.first_window;
         let utilization = self.sample(net);
         let window_end = self.last_time;
         let faults = fault_log
             .iter()
             .filter(|(t, rec)| {
-                rec.resource == self.resource && *t > window_start && *t <= window_end
+                rec.resource == self.resource
+                    && (*t > window_start || (include_start && *t == window_start))
+                    && *t <= window_end
             })
             .copied()
             .collect();
@@ -146,6 +161,69 @@ mod tests {
         let r = net.add_resource("nic", 100.0);
         let mut probe = UtilizationProbe::new(&net, r);
         assert_eq!(probe.sample(&net), 0.0);
+    }
+
+    #[test]
+    fn boundary_fault_lands_in_first_window_exactly_once() {
+        use crate::faults::FaultPhase;
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 100.0);
+        let other = net.add_resource("other", 100.0);
+        let mut probe = UtilizationProbe::new(&net, r);
+        // A fault applied at exactly the probe's creation time (t=0): the
+        // old strictly-greater filter attributed it to *no* window.
+        let fault_log = vec![
+            (
+                SimTime::ZERO,
+                FaultRecord {
+                    resource: r,
+                    phase: FaultPhase::Applied,
+                    capacity_before: 100.0,
+                    capacity_after: 50.0,
+                },
+            ),
+            (
+                SimTime::ZERO,
+                FaultRecord {
+                    resource: other,
+                    phase: FaultPhase::Applied,
+                    capacity_before: 100.0,
+                    capacity_after: 50.0,
+                },
+            ),
+        ];
+        net.advance_to(SimTime::from_secs_f64(1.0));
+        let first = probe.sample_annotated(&net, &fault_log);
+        assert_eq!(first.faults.len(), 1, "boundary fault missing from the first window");
+        assert_eq!(first.faults[0].0, SimTime::ZERO);
+        assert_eq!(first.faults[0].1.resource, r);
+        // The next window must not report it again.
+        net.advance_to(SimTime::from_secs_f64(2.0));
+        let second = probe.sample_annotated(&net, &fault_log);
+        assert!(second.faults.is_empty(), "boundary fault double-counted");
+    }
+
+    #[test]
+    fn sample_boundary_fault_belongs_to_the_earlier_window() {
+        use crate::faults::FaultPhase;
+        let mut net = FlowNet::new();
+        let r = net.add_resource("nic", 100.0);
+        let mut probe = UtilizationProbe::new(&net, r);
+        net.advance_to(SimTime::from_secs_f64(1.0));
+        let fault_log = vec![(
+            SimTime::from_secs_f64(1.0),
+            FaultRecord {
+                resource: r,
+                phase: FaultPhase::Applied,
+                capacity_before: 100.0,
+                capacity_after: 50.0,
+            },
+        )];
+        let first = probe.sample_annotated(&net, &fault_log);
+        assert_eq!(first.faults.len(), 1);
+        net.advance_to(SimTime::from_secs_f64(2.0));
+        let second = probe.sample_annotated(&net, &fault_log);
+        assert!(second.faults.is_empty());
     }
 
     #[test]

@@ -107,13 +107,25 @@ impl SimDuration {
         self.0 as f64 / 1e9
     }
 
-    /// Duration scaled by a non-negative factor.
+    /// Duration scaled by a non-negative factor, saturating at the largest
+    /// representable duration.
+    ///
+    /// Saturation matters for exponential backoffs (the engine stall
+    /// watchdog doubles its timeout per retry, up to 2^16×): a product
+    /// beyond `u64::MAX` nanoseconds clamps instead of producing a bogus
+    /// value, and adding the clamped duration to any [`SimTime`] saturates
+    /// at [`SimTime::MAX`] rather than wrapping into the past.
     ///
     /// # Panics
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Self {
         assert!(factor.is_finite() && factor >= 0.0);
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(scaled.round() as u64)
+        }
     }
 }
 
@@ -211,6 +223,26 @@ mod tests {
     #[test]
     fn mul_f64_scales() {
         assert_eq!(SimDuration::from_nanos(100).mul_f64(2.5).as_nanos(), 250);
+    }
+
+    #[test]
+    fn mul_f64_saturates_instead_of_wrapping() {
+        // The stall-watchdog backoff multiplies a base timeout by up to
+        // 2^16; a 10^9-second base (~31 years of sim time) overflows u64
+        // nanoseconds and must clamp, not wrap.
+        let base = SimDuration::from_secs_f64(1e9);
+        let backoff = base.mul_f64(f64::from(1u32 << 16));
+        assert_eq!(backoff.as_nanos(), u64::MAX);
+        // Scheduling the clamped backoff lands at SimTime::MAX, never in
+        // the past.
+        assert_eq!(SimTime::ZERO + backoff, SimTime::MAX);
+        assert_eq!(SimTime::from_secs_f64(5.0) + backoff, SimTime::MAX);
+    }
+
+    #[test]
+    fn mul_f64_exact_at_boundary() {
+        assert_eq!(SimDuration::from_nanos(u64::MAX).mul_f64(1.0).as_nanos(), u64::MAX);
+        assert_eq!(SimDuration::from_nanos(u64::MAX).mul_f64(0.0).as_nanos(), 0);
     }
 
     #[test]

@@ -68,18 +68,47 @@ impl fmt::Display for ThroughputReport {
     }
 }
 
+/// Checks that two reports measure the same workload — comparing a
+/// ResNet-50 run against a BERT run (or different per-GPU batches) returns
+/// a meaningless ratio, so the derived metrics refuse it loudly instead of
+/// silently producing a number.
+fn assert_same_workload(a: &ThroughputReport, b: &ThroughputReport, metric: &str) {
+    assert_eq!(a.model, b.model, "{metric} compares different models: {} vs {}", a.model, b.model);
+    assert_eq!(
+        a.batch_per_gpu, b.batch_per_gpu,
+        "{metric} compares different per-GPU batches: {} vs {}",
+        a.batch_per_gpu, b.batch_per_gpu
+    );
+}
+
 /// Scaling efficiency per the paper's definition (§III, footnote 3):
 /// measured N-GPU throughput over N× the single-GPU throughput.
 ///
+/// Both reports must measure the same model and per-GPU batch; the engines
+/// may differ (a framework's multi-GPU run is routinely measured against a
+/// common single-GPU reference).
+///
 /// # Panics
-/// Panics if `single` is not a 1-GPU run.
+/// Panics if `single` is not a 1-GPU run, or if the two reports measure
+/// different models or per-GPU batch sizes.
 pub fn scaling_efficiency(single: &ThroughputReport, multi: &ThroughputReport) -> f64 {
     assert_eq!(single.world, 1, "baseline must be a single-GPU run");
+    assert_same_workload(single, multi, "scaling_efficiency");
     multi.samples_per_sec / (single.samples_per_sec * multi.world as f64)
 }
 
 /// Throughput speedup of `ours` over `baseline` (same model/world).
+///
+/// # Panics
+/// Panics if the reports measure different models, world sizes, or per-GPU
+/// batch sizes — a cross-workload ratio is not a speedup.
 pub fn speedup(ours: &ThroughputReport, baseline: &ThroughputReport) -> f64 {
+    assert_same_workload(ours, baseline, "speedup");
+    assert_eq!(
+        ours.world, baseline.world,
+        "speedup compares different world sizes: {} vs {} GPUs",
+        ours.world, baseline.world
+    );
     ours.samples_per_sec / baseline.samples_per_sec
 }
 
@@ -124,5 +153,52 @@ mod tests {
     #[should_panic(expected = "single-GPU")]
     fn efficiency_requires_single_gpu_baseline() {
         let _ = scaling_efficiency(&report(2, 0.5), &report(8, 0.5));
+    }
+
+    fn named_report(model: &str, world: usize, batch: usize) -> ThroughputReport {
+        ThroughputReport::new(
+            "e".into(),
+            model.into(),
+            world,
+            batch,
+            SampleUnit::Images,
+            vec![0.5; 3],
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "different models")]
+    fn speedup_rejects_cross_model_comparison() {
+        // A ResNet-50 vs BERT ratio is meaningless — refuse it.
+        let _ = speedup(&named_report("resnet50", 8, 10), &named_report("bert_large", 8, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "different world sizes")]
+    fn speedup_rejects_cross_world_comparison() {
+        let _ = speedup(&named_report("m", 8, 10), &named_report("m", 16, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "different per-GPU batches")]
+    fn speedup_rejects_cross_batch_comparison() {
+        let _ = speedup(&named_report("m", 8, 10), &named_report("m", 8, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "different models")]
+    fn efficiency_rejects_cross_model_comparison() {
+        let _ = scaling_efficiency(&named_report("resnet50", 1, 10), &named_report("vgg16", 8, 10));
+    }
+
+    #[test]
+    fn efficiency_allows_different_engines() {
+        // A Horovod multi-GPU run measured against the common single-GPU
+        // reference is a legitimate comparison.
+        let mut single = named_report("m", 1, 10);
+        single.engine = "aiacc".into();
+        let mut multi = named_report("m", 8, 10);
+        multi.engine = "horovod".into();
+        assert!((scaling_efficiency(&single, &multi) - 1.0).abs() < 1e-9);
     }
 }

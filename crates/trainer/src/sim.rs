@@ -7,7 +7,8 @@ use aiacc_cluster::{jitter_factor, ClusterNet, ClusterSpec, ComputeModel};
 use aiacc_collectives::CollectiveEngine;
 use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
 use aiacc_dnn::{DType, GradId, ModelProfile};
-use aiacc_simnet::{Event, FaultPlan, SimDuration, SimTime, Simulator, Token};
+use aiacc_simnet::trace::track;
+use aiacc_simnet::{Event, FaultPlan, SimDuration, SimTime, Simulator, Token, TraceSink};
 use serde::{Deserialize, Serialize};
 
 const GRAD_KIND: u32 = 1;
@@ -47,6 +48,11 @@ pub struct TrainingSimConfig {
     /// and charge a replayed checkpoint restart. An empty plan (the default)
     /// changes nothing.
     pub faults: FaultPlan,
+    /// Records a structured trace of the run (iteration spans, per-unit
+    /// stream lanes, collective phases, fault/crash markers). Off by
+    /// default: with tracing disabled no event is ever allocated and the
+    /// simulation is bit-identical to a build without the trace layer.
+    pub trace: bool,
 }
 
 impl TrainingSimConfig {
@@ -65,6 +71,7 @@ impl TrainingSimConfig {
             jitter_frac: 0.02,
             stragglers: Vec::new(),
             faults: FaultPlan::new(),
+            trace: false,
         }
     }
 
@@ -107,6 +114,12 @@ impl TrainingSimConfig {
     /// Installs a fault plan for the run.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables (or disables) structured tracing for the run.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -181,6 +194,9 @@ impl TrainingSim {
     /// Panics if the plan targets a node outside the cluster.
     pub fn new(cfg: TrainingSimConfig) -> Self {
         let mut sim = Simulator::new();
+        if cfg.trace {
+            sim.enable_tracing();
+        }
         let cluster = ClusterNet::build(&cfg.cluster, sim.net_mut());
         let engine = cfg.engine.build(&cfg.model, cfg.cluster.world_size());
         let compute = ComputeModel::new(cfg.cluster.node.gpu.clone());
@@ -247,6 +263,10 @@ impl TrainingSim {
                         *crashes += 1;
                         let pause = self.recovery_pause_secs();
                         *recovery_secs += pause;
+                        if self.sim.tracing_enabled() {
+                            let name = format!("crash n{}", tok.a);
+                            self.sim.trace_instant(track::TRAINER, 0, &name, "fault", Some(pause));
+                        }
                         self.coll.cancel_all(&mut self.sim);
                         end = t + SimDuration::from_secs_f64(pause);
                     }
@@ -271,6 +291,20 @@ impl TrainingSim {
     /// The effective per-GPU batch size.
     pub fn batch_per_gpu(&self) -> usize {
         self.cfg.batch_per_gpu.unwrap_or_else(|| self.cfg.model.default_batch_per_gpu())
+    }
+
+    /// The structured trace recorded so far (empty unless the config enabled
+    /// tracing). Export it with [`TraceSink::to_chrome_json`] or summarize it
+    /// with [`TraceSink::summary`].
+    pub fn trace(&self) -> &TraceSink {
+        self.sim.trace()
+    }
+
+    /// The engine's AIACC per-iteration counters, when the configured engine
+    /// exposes them (baselines return `None`). Lets harnesses cross-check
+    /// trace-derived lane counts against `AiaccStats::peak_streams`.
+    pub fn engine_stats(&self) -> Option<aiacc_core::AiaccStats> {
+        self.engine.aiacc_stats()
     }
 
     /// Runs one training iteration, returning its wall-clock duration.
@@ -307,6 +341,11 @@ impl TrainingSim {
         let mut fault_events = 0u32;
         let mut crashes = 0u32;
         let mut recovery_secs = 0.0f64;
+
+        if self.sim.tracing_enabled() {
+            let name = format!("iter {}", self.iter);
+            self.sim.trace_span_begin(track::TRAINER, 0, &name, "iteration");
+        }
 
         let (last_bwd, comm_done_at) = 'attempt: loop {
             let t_start = self.sim.now();
@@ -372,6 +411,15 @@ impl TrainingSim {
                     }
                     Event::Timer(tok) if tok.kind == BWD_KIND => {
                         busy_workers -= 1;
+                        if busy_workers == 0 && self.sim.tracing_enabled() {
+                            self.sim.trace_instant(
+                                track::TRAINER,
+                                0,
+                                "backward done",
+                                "phase",
+                                None,
+                            );
+                        }
                         let mut cx = DdlCtx {
                             sim: &mut self.sim,
                             coll: &mut self.coll,
@@ -400,6 +448,10 @@ impl TrainingSim {
                         crashes += 1;
                         let pause = self.recovery_pause_secs();
                         recovery_secs += pause;
+                        if self.sim.tracing_enabled() {
+                            let name = format!("crash n{}", tok.a);
+                            self.sim.trace_instant(track::TRAINER, 0, &name, "fault", Some(pause));
+                        }
                         self.coll.cancel_all(&mut self.sim);
                         let resume = t + SimDuration::from_secs_f64(pause);
                         self.drain_to(resume, &mut fault_events, &mut crashes, &mut recovery_secs);
@@ -439,8 +491,15 @@ impl TrainingSim {
         // simulator to the boundary so the next iteration starts cleanly
         // (stale engine timers beyond the boundary are ignored by iter id;
         // a crash landing in the gap extends it by a restart).
+        if self.sim.tracing_enabled() {
+            self.sim.trace_instant(track::TRAINER, 0, "comm done", "phase", None);
+        }
         let end = comm_done_at.max(last_bwd) + timing.update;
         let end = self.drain_to(end, &mut fault_events, &mut crashes, &mut recovery_secs);
+        if self.sim.tracing_enabled() {
+            let name = format!("iter {}", self.iter);
+            self.sim.trace_span_end(track::TRAINER, 0, &name, "iteration");
+        }
         self.iter += 1;
         IterationBreakdown {
             backward_end_secs: (last_bwd - t0).as_secs_f64(),

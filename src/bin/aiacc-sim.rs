@@ -5,13 +5,14 @@
 //! aiacc-sim [--model NAME] [--gpus N] [--engine aiacc|horovod|ddp|byteps|kvstore]
 //!           [--streams N] [--granularity MIB] [--batch N] [--rdma]
 //!           [--compression] [--tree] [--tune BUDGET] [--iters N]
-//!           [--faults degrade|flap|straggler|crash]
+//!           [--faults degrade|flap|straggler|crash] [--trace OUT.json]
 //! ```
 //!
 //! Examples:
 //! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
 //! `aiacc-sim --model bert_large --gpus 64 --rdma --tune 40`
 //! `aiacc-sim --model resnet50 --gpus 16 --faults degrade`
+//! `aiacc-sim --model vgg16 --gpus 16 --trace trace.json` (open in Perfetto)
 
 use aiacc::collectives::Algo;
 use aiacc::prelude::*;
@@ -31,6 +32,7 @@ struct Args {
     tune: Option<usize>,
     iters: usize,
     faults: Option<String>,
+    trace: Option<String>,
 }
 
 /// Builds the canned fault scenario selected by `--faults`.
@@ -83,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         tune: None,
         iters: 3,
         faults: None,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -115,11 +118,12 @@ fn parse_args() -> Result<Args, String> {
                 args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?
             }
             "--faults" => args.faults = Some(value(&mut i)?),
+            "--trace" => args.trace = Some(value(&mut i)?),
             "--help" | "-h" => {
                 return Err("usage: aiacc-sim [--model NAME] [--gpus N] [--engine E] \
                             [--streams N] [--granularity MIB] [--batch N] [--rdma] \
                             [--compression] [--tree] [--tune BUDGET] [--iters N] \
-                            [--faults degrade|flap|straggler|crash]"
+                            [--faults degrade|flap|straggler|crash] [--trace OUT.json]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -205,7 +209,9 @@ fn main() {
         }
     };
 
-    let mut cfg = TrainingSimConfig::new(cluster, model, engine).with_iterations(1, args.iters);
+    let mut cfg = TrainingSimConfig::new(cluster, model, engine)
+        .with_iterations(1, args.iters)
+        .with_trace(args.trace.is_some());
     if let Some(b) = args.batch {
         cfg = cfg.with_batch(b);
     }
@@ -232,6 +238,26 @@ fn main() {
         println!(
             "fault impact: {} capacity event(s) | {} crash(es) | {:.2} s recovering",
             detail.fault_events, detail.crashes, detail.recovery_secs,
+        );
+    }
+    if let Some(path) = &args.trace {
+        let json = sim.trace().to_chrome_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        let s = sim.trace().summary();
+        println!(
+            "trace: {} events -> {path} (open in chrome://tracing or https://ui.perfetto.dev)",
+            sim.trace().events().len()
+        );
+        println!(
+            "trace summary: {} stream lane(s) | overlap {:.0}% | max queue depth {} | \
+             {} resubmission(s)",
+            s.stream_lanes,
+            s.overlap_fraction * 100.0,
+            s.max_queue_depth,
+            s.resubmissions,
         );
     }
 }

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use aiacc_optim::{Adam, AdamSgd, Optimizer, Sgd};
     pub use aiacc_simnet::{
         Event, FaultEvent, FaultKind, FaultPlan, FaultTarget, FlowSpec, SimDuration, SimTime,
-        Simulator,
+        Simulator, TraceSink, TraceSummary,
     };
     pub use aiacc_trainer::{
         run_training_sim, scaling_efficiency, speedup, DataParallelConfig, DataParallelTrainer,
