@@ -63,4 +63,4 @@ pub use mab::MetaSolver;
 pub use pbt::PopulationTraining;
 pub use random::RandomSearch;
 pub use space::{TuneAlgo, TuningConfig, TuningSpace};
-pub use tuner::{Evaluation, Objective, Searcher, TuneReport, Tuner};
+pub use tuner::{BatchObjective, Evaluation, Objective, Searcher, TuneReport, Tuner};

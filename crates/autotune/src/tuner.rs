@@ -19,6 +19,26 @@ impl<F: FnMut(&TuningConfig) -> f64> Objective for F {
     }
 }
 
+/// An [`Objective`] that can score several configurations at once.
+///
+/// [`Tuner::run_batched`] hands the whole round's proposals to
+/// [`evaluate_batch`](Self::evaluate_batch) so implementations backed by
+/// independent seeded simulations can fan them out across worker threads
+/// (`aiacc-simnet`'s `par` module). The default implementation simply
+/// evaluates serially, so any `Objective` can opt in without changes —
+/// results must not depend on evaluation order.
+pub trait BatchObjective: Objective {
+    /// Scores every configuration in `cfgs`, returning values in the same
+    /// order. Implementations may evaluate concurrently; each value must be
+    /// identical to what a standalone [`Objective::evaluate`] call would
+    /// return.
+    fn evaluate_batch(&mut self, cfgs: &[TuningConfig]) -> Vec<f64> {
+        cfgs.iter().map(|c| self.evaluate(c)).collect()
+    }
+}
+
+impl<F: FnMut(&TuningConfig) -> f64> BatchObjective for F {}
+
 /// A search technique pluggable into the ensemble.
 ///
 /// Observations are shared: every searcher sees every result (the ensemble
@@ -184,6 +204,111 @@ impl Tuner {
                 .collect(),
         }
     }
+
+    /// Batched tuning: each round collects **one proposal per searcher**
+    /// (plus the warm-start `prior`, first, in round one), evaluates the
+    /// whole batch with a single [`BatchObjective::evaluate_batch`] call —
+    /// which may run the trial simulations concurrently — then observes the
+    /// results **in deterministic searcher order**, so bandit credit
+    /// assignment and the shared results database evolve identically no
+    /// matter how many workers evaluated the batch.
+    ///
+    /// Identical configurations proposed within one batch are deduplicated:
+    /// the objective scores each distinct configuration once and every
+    /// proposing searcher shares the value. This keeps batched and serial
+    /// credit assignment in agreement even for noisy objectives (serially,
+    /// the second proposer of a duplicate would otherwise observe a fresh —
+    /// possibly different — measurement).
+    ///
+    /// Every proposal still counts against `budget` and appears in
+    /// [`TuneReport::evaluations`]: warm-up iterations train the model
+    /// regardless of whether the tuner needed a new measurement (§VI).
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    pub fn run_batched(
+        &mut self,
+        objective: &mut dyn BatchObjective,
+        budget: usize,
+        prior: Option<TuningConfig>,
+    ) -> TuneReport {
+        assert!(budget > 0, "budget must be positive");
+        let mut evaluations = Vec::with_capacity(budget);
+        let mut usage = vec![0usize; self.searchers.len()];
+        let mut best: Option<(TuningConfig, f64)> = None;
+        let mut first_round = true;
+
+        while evaluations.len() < budget {
+            // Collect this round's proposals: (proposing searcher, config).
+            // `None` marks the warm-start prior.
+            let mut proposals: Vec<(Option<usize>, TuningConfig)> = Vec::new();
+            if first_round {
+                if let Some(cfg) = prior {
+                    proposals.push((None, cfg));
+                }
+                first_round = false;
+            }
+            let remaining = budget - evaluations.len();
+            for t in 0..self.searchers.len() {
+                if proposals.len() >= remaining {
+                    break;
+                }
+                proposals.push((Some(t), self.searchers[t].propose()));
+            }
+            proposals.truncate(remaining);
+
+            // Deduplicate identical configs: evaluate once, share the value.
+            let key = |c: &TuningConfig| (c.streams, c.granularity.to_bits(), c.algo);
+            let mut unique: Vec<TuningConfig> = Vec::with_capacity(proposals.len());
+            let mut slot: Vec<usize> = Vec::with_capacity(proposals.len());
+            for (_, cfg) in &proposals {
+                match unique.iter().position(|u| key(u) == key(cfg)) {
+                    Some(i) => slot.push(i),
+                    None => {
+                        slot.push(unique.len());
+                        unique.push(*cfg);
+                    }
+                }
+            }
+            let values = objective.evaluate_batch(&unique);
+            assert_eq!(values.len(), unique.len(), "objective returned wrong batch size");
+
+            // Observe in proposal (= searcher) order: the bandit and the
+            // shared results database see exactly this sequence every run.
+            for (p, (proposer, cfg)) in proposals.iter().enumerate() {
+                let value = values[slot[p]];
+                let improved = best.as_ref().is_none_or(|&(_, b)| value < b);
+                if improved {
+                    best = Some((*cfg, value));
+                }
+                let searcher = match proposer {
+                    Some(t) => {
+                        usage[*t] += 1;
+                        self.meta.record(*t, improved);
+                        self.searchers[*t].name().to_string()
+                    }
+                    None => "warm-start".to_string(),
+                };
+                for s in &mut self.searchers {
+                    s.observe(cfg, value);
+                }
+                evaluations.push(Evaluation { config: *cfg, value, searcher });
+            }
+        }
+
+        let (best, best_value) = best.expect("budget > 0");
+        TuneReport {
+            best,
+            best_value,
+            evaluations,
+            usage: self
+                .searchers
+                .iter()
+                .zip(usage)
+                .map(|(s, u)| (s.name().to_string(), u))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -244,5 +369,74 @@ mod tests {
         let report = tuner.run(&mut surface, 144);
         // Full grid enumeration must find the exact optimum.
         assert_eq!(report.best.streams, 16);
+    }
+
+    #[test]
+    fn batched_respects_budget_exactly_and_finds_optimum() {
+        let mut tuner = Tuner::new(TuningSpace::default(), 42);
+        let report = tuner.run_batched(&mut surface, 101, None);
+        assert_eq!(report.evaluations.len(), 101);
+        assert_eq!(report.best.streams, 16, "best={}", report.best);
+        assert_eq!(report.best.algo, TuneAlgo::Ring);
+        let min = report.evaluations.iter().map(|e| e.value).fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best_value, min);
+    }
+
+    #[test]
+    fn batched_is_deterministic_given_seed() {
+        let run = || {
+            let mut tuner = Tuner::new(TuningSpace::default(), 5);
+            tuner.run_batched(&mut surface, 60, None)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.usage, b.usage);
+    }
+
+    #[test]
+    fn batched_prior_is_evaluated_first() {
+        let prior = TuningConfig { streams: 16, ..TuningSpace::default().index(0) };
+        let mut tuner = Tuner::new(TuningSpace::default(), 9);
+        let report = tuner.run_batched(&mut surface, 20, Some(prior));
+        assert_eq!(report.evaluations[0].searcher, "warm-start");
+        assert_eq!(report.evaluations[0].config, prior);
+    }
+
+    #[test]
+    fn batched_prior_alone_fits_budget_of_one() {
+        let prior = TuningSpace::default().index(0);
+        let mut tuner = Tuner::new(TuningSpace::default(), 9);
+        let report = tuner.run_batched(&mut surface, 1, Some(prior));
+        assert_eq!(report.evaluations.len(), 1);
+        assert_eq!(report.best, prior);
+    }
+
+    #[test]
+    fn batched_dedups_identical_configs_within_a_round() {
+        // A noisy objective: returns a fresh (decreasing) value per *call*.
+        // If duplicates within a batch were evaluated separately, the two
+        // proposers would record different values; with dedup they share one.
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let mut noisy = |_: &TuningConfig| {
+            calls.set(calls.get() + 1);
+            100.0 - calls.get() as f64
+        };
+        let space = TuningSpace::default();
+        // Two grid searchers walk the space in lockstep: every round proposes
+        // the same config twice.
+        let searchers: Vec<Box<dyn Searcher>> = vec![
+            Box::new(GridSearch::new(space.clone())),
+            Box::new(GridSearch::new(space.clone())),
+        ];
+        let mut tuner = Tuner::with_searchers(space, searchers);
+        let report = tuner.run_batched(&mut noisy, 20, None);
+        assert_eq!(report.evaluations.len(), 20);
+        // 10 rounds of 2 identical proposals -> 10 objective calls.
+        assert_eq!(calls.get(), 10);
+        for round in report.evaluations.chunks(2) {
+            assert_eq!(round[0].config, round[1].config);
+            assert_eq!(round[0].value, round[1].value, "duplicates must share the measurement");
+        }
     }
 }

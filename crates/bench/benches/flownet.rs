@@ -5,23 +5,45 @@ use aiacc_simnet::{FlowNet, FlowSpec, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+/// A network of `flows` two-resource capped flows over 64 shared links:
+/// the general progressive-filling path.
+fn multi_resource_net(flows: usize) -> FlowNet {
+    let mut net = FlowNet::new();
+    let res: Vec<_> = (0..64).map(|i| net.add_resource(format!("r{i}"), 1e9)).collect();
+    for i in 0..flows {
+        net.start_flow(FlowSpec::new(vec![res[i % 64], res[(i + 1) % 64]], 1e8).with_rate_cap(3e8));
+    }
+    net
+}
+
+/// A network where every flow loads exactly one resource: the closed-form
+/// single-resource fast path.
+fn single_resource_net(flows: usize) -> FlowNet {
+    let mut net = FlowNet::new();
+    let res: Vec<_> = (0..64).map(|i| net.add_resource(format!("r{i}"), 1e9)).collect();
+    for i in 0..flows {
+        net.start_flow(FlowSpec::new(vec![res[i % 64]], 1e8).with_rate_cap(3e8));
+    }
+    net
+}
+
 fn bench_rate_recompute(c: &mut Criterion) {
-    c.bench_function("flownet/recompute_256_flows", |b| {
-        b.iter_batched(
-            || {
-                let mut net = FlowNet::new();
-                let res: Vec<_> = (0..64).map(|i| net.add_resource(format!("r{i}"), 1e9)).collect();
-                for i in 0..256 {
-                    net.start_flow(
-                        FlowSpec::new(vec![res[i % 64], res[(i + 1) % 64]], 1e8).with_rate_cap(3e8),
-                    );
-                }
-                net
-            },
-            |mut net| black_box(net.next_change()),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    for flows in [64usize, 256, 1024] {
+        c.bench_function(&format!("flownet/recompute_{flows}_flows"), |b| {
+            b.iter_batched(
+                || multi_resource_net(flows),
+                |mut net| black_box(net.next_change()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        c.bench_function(&format!("flownet/recompute_{flows}_flows_single_resource"), |b| {
+            b.iter_batched(
+                || single_resource_net(flows),
+                |mut net| black_box(net.next_change()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_drain(c: &mut Criterion) {

@@ -1,12 +1,14 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--out DIR]
+//! repro [EXPERIMENT ...] [--quick] [--out DIR] [--jobs N]
 //!
 //! EXPERIMENT: table1 bandwidth fig2 fig9 fig10 fig11 fig12 fig13 fig14
 //!             fig15 ctr insightface dawnbench tuning ablations all
 //! --quick     reduced GPU sweep (1/8/32) and smaller tuning budgets
 //! --out DIR   also write each table as TSV under DIR (default: results/)
+//! --jobs N    fan sweep points out over N worker threads (default:
+//!             AIACC_JOBS or all cores; output is bit-identical to --jobs 1)
 //! ```
 
 use aiacc_bench::*;
@@ -21,10 +23,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
+    let jobs_arg = args.iter().position(|a| a == "--jobs").and_then(|i| args.get(i + 1)).cloned();
+    if let Some(v) = &jobs_arg {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => aiacc_simnet::par::set_jobs(n),
+            _ => {
+                eprintln!("--jobs needs a positive integer, got {v}");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(a.as_str()) != out_dir.to_str())
+        .filter(|a| Some(a.as_str()) != jobs_arg.as_deref())
         .cloned()
         .collect();
     if wanted.is_empty() {

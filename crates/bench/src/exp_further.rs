@@ -4,7 +4,7 @@
 use crate::report::{fnum, Table};
 use aiacc_cluster::{ClusterNet, ClusterSpec};
 use aiacc_dnn::zoo;
-use aiacc_simnet::{SimTime, Simulator};
+use aiacc_simnet::{par, SimTime, Simulator};
 use aiacc_trainer::hybrid::{run_hybrid_sim, HybridEngine};
 use aiacc_trainer::{dawnbench, run_training_sim, EngineKind, TrainingSimConfig};
 
@@ -22,16 +22,19 @@ pub fn table1_models() -> Table {
         "Table I: model characteristics (ours vs paper)",
         &["model", "params (M)", "paper params (M)", "fwd GFLOPs", "paper GFLOPs", "#gradients"],
     );
-    for &(name, p_params, p_flops) in paper {
+    let rows = par::map(paper, |&(name, p_params, p_flops)| {
         let m = zoo::by_name(name).expect("zoo model");
-        t.push(vec![
+        vec![
             name.to_string(),
             fnum(m.num_params() as f64 / 1e6),
             fnum(p_params),
             fnum(m.fwd_flops_per_sample() / 1e9),
             fnum(p_flops),
             m.num_gradients().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -44,7 +47,8 @@ pub fn bandwidth_utilization() -> Table {
         "§III: TCP NIC utilization vs concurrent communication streams",
         &["streams", "utilization", "effective Gbps"],
     );
-    for streams in [1usize, 2, 3, 4, 6, 8] {
+    const STREAMS: [usize; 6] = [1, 2, 3, 4, 6, 8];
+    let utils = par::map(&STREAMS, |&streams| {
         let mut sim = Simulator::new();
         let cluster = ClusterNet::build(&ClusterSpec::tcp_v100(16), sim.net_mut());
         for i in 0..streams {
@@ -53,8 +57,10 @@ pub fn bandwidth_utilization() -> Table {
             sim.start_flow(cluster.path(src, dst).flow(1e12));
         }
         sim.net_mut().advance_to(SimTime::from_secs_f64(0.001));
-        let util = sim.net_mut().utilization(cluster.node_tx_resource(0));
-        t.push(vec![streams.to_string(), fnum(util), fnum(util * 30.0)]);
+        sim.net_mut().utilization(cluster.node_tx_resource(0))
+    });
+    for (streams, util) in STREAMS.iter().zip(&utils) {
+        t.push(vec![streams.to_string(), fnum(*util), fnum(util * 30.0)]);
     }
     t
 }
@@ -66,18 +72,17 @@ pub fn fig13_hybrid(gpu_sweep: &[usize]) -> Table {
         "Fig 13: hybrid data+model parallelism (ResNet-50 on MXNet)",
         &["gpus", "aiacc samples/s", "mxnet samples/s", "speedup"],
     );
-    for &g in gpu_sweep {
-        if g < 16 {
-            continue; // needs ≥2 nodes
-        }
-        let a = run_hybrid_sim(&model, g, 64, HybridEngine::Aiacc);
-        let k = run_hybrid_sim(&model, g, 64, HybridEngine::MxnetKvStore);
-        t.push(vec![
-            g.to_string(),
-            fnum(a.samples_per_sec),
-            fnum(k.samples_per_sec),
-            fnum(a.samples_per_sec / k.samples_per_sec),
-        ]);
+    let gpus: Vec<usize> = gpu_sweep.iter().copied().filter(|&g| g >= 16).collect(); // needs ≥2 nodes
+    let mut points = Vec::new();
+    for &g in &gpus {
+        points.push((g, HybridEngine::Aiacc));
+        points.push((g, HybridEngine::MxnetKvStore));
+    }
+    let results =
+        par::map(&points, |&(g, engine)| run_hybrid_sim(&model, g, 64, engine).samples_per_sec);
+    for (i, g) in gpus.iter().enumerate() {
+        let (a, k) = (results[2 * i], results[2 * i + 1]);
+        t.push(vec![g.to_string(), fnum(a), fnum(k), fnum(a / k)]);
     }
     t
 }
@@ -91,22 +96,23 @@ pub fn fig14_batch_sweep() -> Table {
         "Fig 14: speedup over Horovod vs batch size (BERT-Large, 16 GPUs)",
         &["batch/gpu", "aiacc seq/s", "horovod seq/s", "speedup"],
     );
-    for batch in [1usize, 2, 4, 8, 16] {
-        let mk = |engine| {
-            run_training_sim(
-                TrainingSimConfig::new(ClusterSpec::tcp_v100(16), model.clone(), engine)
-                    .with_batch(batch)
-                    .with_iterations(1, 2),
-            )
-        };
-        let a = mk(EngineKind::aiacc_default());
-        let h = mk(EngineKind::Horovod(Default::default()));
-        t.push(vec![
-            batch.to_string(),
-            fnum(a.samples_per_sec),
-            fnum(h.samples_per_sec),
-            fnum(a.samples_per_sec / h.samples_per_sec),
-        ]);
+    const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+    let mut points = Vec::new();
+    for batch in BATCHES {
+        points.push((batch, EngineKind::aiacc_default()));
+        points.push((batch, EngineKind::Horovod(Default::default())));
+    }
+    let results = par::map(&points, |&(batch, engine)| {
+        run_training_sim(
+            TrainingSimConfig::new(ClusterSpec::tcp_v100(16), model.clone(), engine)
+                .with_batch(batch)
+                .with_iterations(1, 2),
+        )
+        .samples_per_sec
+    });
+    for (i, batch) in BATCHES.iter().enumerate() {
+        let (a, h) = (results[2 * i], results[2 * i + 1]);
+        t.push(vec![batch.to_string(), fnum(a), fnum(h), fnum(a / h)]);
     }
     t
 }
@@ -127,7 +133,13 @@ pub fn fig15_rdma() -> Table {
         efficiency: 0.35,
         ..GpuSpec::v100()
     };
-    for model in [zoo::resnet50(), zoo::vgg16(), zoo::bert_large(), zoo::gpt2_xl()] {
+    let models = [zoo::resnet50(), zoo::vgg16(), zoo::bert_large(), zoo::gpt2_xl()];
+    let mut points = Vec::new();
+    for model in &models {
+        points.push((model, EngineKind::aiacc_default()));
+        points.push((model, EngineKind::PyTorchDdp(Default::default())));
+    }
+    let results = par::map(&points, |&(model, engine)| {
         // The transformer giants train under AMP (GPT-2 XL does not fit in
         // fp32 at all); the CV models keep the fp32 setting of Figs. 9–12.
         let amp = matches!(model.name(), "bert_large" | "gpt2_xl");
@@ -137,20 +149,14 @@ pub fn fig15_rdma() -> Table {
             NodeSpec::alibaba_v100_rdma()
         };
         let cluster = ClusterSpec::with_total_gpus(64, node);
-        let mk = |engine| {
-            run_training_sim(
-                TrainingSimConfig::new(cluster.clone(), model.clone(), engine)
-                    .with_iterations(1, 2),
-            )
-        };
-        let a = mk(EngineKind::aiacc_default());
-        let d = mk(EngineKind::PyTorchDdp(Default::default()));
-        t.push(vec![
-            model.name().to_string(),
-            fnum(a.samples_per_sec),
-            fnum(d.samples_per_sec),
-            fnum(a.samples_per_sec / d.samples_per_sec),
-        ]);
+        run_training_sim(
+            TrainingSimConfig::new(cluster, model.clone(), engine).with_iterations(1, 2),
+        )
+        .samples_per_sec
+    });
+    for (i, model) in models.iter().enumerate() {
+        let (a, d) = (results[2 * i], results[2 * i + 1]);
+        t.push(vec![model.name().to_string(), fnum(a), fnum(d), fnum(a / d)]);
     }
     t
 }
@@ -163,20 +169,17 @@ pub fn ctr_production_speedup(gpus: usize) -> Table {
         format!("§VIII-C: production CTR system at {gpus} GPUs"),
         &["engine", "records/s", "speedup vs horovod"],
     );
-    let mk = |engine| {
+    let engines = [EngineKind::Horovod(Default::default()), EngineKind::aiacc_default()];
+    let results = par::map(&engines, |&engine| {
         run_training_sim(
             TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
                 .with_iterations(1, 2),
         )
-    };
-    let h = mk(EngineKind::Horovod(Default::default()));
-    let a = mk(EngineKind::aiacc_default());
-    t.push(vec!["horovod".into(), fnum(h.samples_per_sec), "1.000".into()]);
-    t.push(vec![
-        "aiacc".into(),
-        fnum(a.samples_per_sec),
-        fnum(a.samples_per_sec / h.samples_per_sec),
-    ]);
+        .samples_per_sec
+    });
+    let (h, a) = (results[0], results[1]);
+    t.push(vec!["horovod".into(), fnum(h), "1.000".into()]);
+    t.push(vec!["aiacc".into(), fnum(a), fnum(a / h)]);
     t
 }
 
@@ -188,20 +191,17 @@ pub fn insightface_speedup(gpus: usize) -> Table {
         format!("§VIII-C: InsightFace face recognition at {gpus} GPUs"),
         &["engine", "img/s", "speedup vs horovod"],
     );
-    let mk = |engine| {
+    let engines = [EngineKind::Horovod(Default::default()), EngineKind::aiacc_default()];
+    let results = par::map(&engines, |&engine| {
         run_training_sim(
             TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
                 .with_iterations(1, 2),
         )
-    };
-    let h = mk(EngineKind::Horovod(Default::default()));
-    let a = mk(EngineKind::aiacc_default());
-    t.push(vec!["horovod".into(), fnum(h.samples_per_sec), "1.000".into()]);
-    t.push(vec![
-        "aiacc".into(),
-        fnum(a.samples_per_sec),
-        fnum(a.samples_per_sec / h.samples_per_sec),
-    ]);
+        .samples_per_sec
+    });
+    let (h, a) = (results[0], results[1]);
+    t.push(vec!["horovod".into(), fnum(h), "1.000".into()]);
+    t.push(vec!["aiacc".into(), fnum(a), fnum(a / h)]);
     t
 }
 
@@ -211,9 +211,10 @@ pub fn dawnbench_table() -> Table {
         "§VIII-C: DAWNBench time-to-accuracy (ResNet-50, ImageNet, 93% top-5)",
         &["gpus", "img/s", "seconds to target", "cost USD", "paper"],
     );
-    for gpus in [64usize, 128] {
-        let e = dawnbench::estimate(gpus);
-        let paper = if gpus == 128 { "158 s / $7.43" } else { "-" };
+    const GPUS: [usize; 2] = [64, 128];
+    let estimates = par::map(&GPUS, |&gpus| dawnbench::estimate(gpus));
+    for (gpus, e) in GPUS.iter().zip(&estimates) {
+        let paper = if *gpus == 128 { "158 s / $7.43" } else { "-" };
         t.push(vec![
             gpus.to_string(),
             fnum(e.images_per_sec),

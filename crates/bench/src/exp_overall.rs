@@ -3,6 +3,7 @@
 use crate::report::{fnum, Table};
 use aiacc_cluster::ClusterSpec;
 use aiacc_dnn::{zoo, ModelProfile};
+use aiacc_simnet::par;
 use aiacc_trainer::{
     run_training_sim, scaling_efficiency, EngineKind, Framework, ThroughputReport,
     TrainingSimConfig,
@@ -34,13 +35,17 @@ pub fn fig2_motivation(gpu_sweep: &[usize]) -> Table {
         "Fig 2: Horovod vs linear scaling (ResNet-50, 30Gbps TCP)",
         &["gpus", "horovod img/s", "linear img/s", "efficiency"],
     );
-    let single = run(&model, 1, EngineKind::Horovod(Default::default()), Framework::PyTorch);
+    // Fan the sweep points out across workers; each point is an independent
+    // seeded simulation, so results (collected in submission order) are
+    // bit-identical to a serial walk.
+    let mut points: Vec<usize> = vec![1];
+    points.extend(gpu_sweep.iter().copied().filter(|&g| g != 1));
+    let results = par::map(&points, |&g| {
+        run(&model, g, EngineKind::Horovod(Default::default()), Framework::PyTorch)
+    });
+    let single = &results[0];
     for &g in gpu_sweep {
-        let r = if g == 1 {
-            single.clone()
-        } else {
-            run(&model, g, EngineKind::Horovod(Default::default()), Framework::PyTorch)
-        };
+        let r = &results[points.iter().position(|&p| p == g).unwrap_or(0)];
         let linear = single.samples_per_sec * g as f64;
         t.push(vec![
             g.to_string(),
@@ -63,19 +68,37 @@ fn throughput_figure(
     header.extend(engines.iter().map(|e| format!("{e} (samples/s)")));
     header.push("aiacc scaling eff".into());
     let mut t = Table::new(title, &header.iter().map(String::as_str).collect::<Vec<_>>());
+    // Enumerate every simulation the figure needs — the per-model 1-GPU
+    // reference plus the full model × gpus × engine grid — and fan them out.
+    // `usize::MAX` in the engine position marks the reference run.
+    let mut points: Vec<(usize, usize, usize)> = Vec::new();
+    for mi in 0..models.len() {
+        points.push((mi, 1, usize::MAX));
+        for &g in gpu_sweep {
+            for ei in 0..engines.len() {
+                points.push((mi, g, ei));
+            }
+        }
+    }
+    let results = par::map(&points, |&(mi, g, ei)| {
+        let e = if ei == usize::MAX { engines[0] } else { engines[ei] };
+        run(&models[mi], g, e, fw)
+    });
+    // Reassemble rows in the original serial order.
+    let mut next = results.iter();
     for model in models {
-        let single = run(model, 1, engines[0], fw);
+        let single = next.next().expect("reference run");
         for &g in gpu_sweep {
             let mut row = vec![model.name().to_string(), g.to_string()];
             let mut aiacc_eff = String::new();
-            for (i, &e) in engines.iter().enumerate() {
-                let r = run(model, g, e, fw);
+            for i in 0..engines.len() {
+                let r = next.next().expect("grid run");
                 row.push(fnum(r.samples_per_sec));
                 if i == 0 {
                     aiacc_eff = if g == 1 {
                         "1.000".to_string()
                     } else {
-                        fnum(scaling_efficiency(&single, &r))
+                        fnum(scaling_efficiency(single, r))
                     };
                 }
             }

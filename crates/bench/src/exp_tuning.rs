@@ -6,6 +6,7 @@ use aiacc_cluster::{ClusterSpec, NicSpec, NodeSpec};
 use aiacc_collectives::Algo;
 use aiacc_core::AiaccConfig;
 use aiacc_dnn::zoo;
+use aiacc_simnet::par;
 use aiacc_trainer::tune::{tune_aiacc, SimObjective};
 use aiacc_trainer::{run_training_sim, EngineKind, TrainingSimConfig};
 
@@ -18,19 +19,28 @@ pub fn tuning_report(budget: usize) -> Table {
         "§VIII-D: auto-tuned communication parameters",
         &["model", "gpus", "streams", "granularity MiB", "algo", "iter s"],
     );
+    let mut points = Vec::new();
     for model in [zoo::resnet50(), zoo::vgg16(), zoo::transformer()] {
         for gpus in [8usize, 32, 128] {
-            let cluster = ClusterSpec::tcp_v100(gpus);
-            let (cfg, report) = tune_aiacc(&model, &cluster, budget, 11, None);
-            t.push(vec![
-                model.name().to_string(),
-                gpus.to_string(),
-                cfg.streams.to_string(),
-                fnum(cfg.granularity / (1024.0 * 1024.0)),
-                format!("{:?}", cfg.algo),
-                fnum(report.best_value),
-            ]);
+            points.push((model.clone(), gpus));
         }
+    }
+    // Each cell is a full tuning run; fan the cells out (the batched tuner
+    // inside may fan out further — workers are scoped threads, nesting is
+    // harmless and the seeds are fixed either way).
+    let cells = par::map(&points, |(model, gpus)| {
+        let cluster = ClusterSpec::tcp_v100(*gpus);
+        tune_aiacc(model, &cluster, budget, 11, None)
+    });
+    for ((model, gpus), (cfg, report)) in points.iter().zip(&cells) {
+        t.push(vec![
+            model.name().to_string(),
+            gpus.to_string(),
+            cfg.streams.to_string(),
+            fnum(cfg.granularity / (1024.0 * 1024.0)),
+            format!("{:?}", cfg.algo),
+            fnum(report.best_value),
+        ]);
     }
     t
 }
@@ -42,21 +52,32 @@ pub fn ablation_flow_cap() -> Table {
         "Ablation: per-flow cap vs streams (VGG-16, 16 GPUs)",
         &["per-flow cap", "1 stream img/s", "4 streams img/s", "8 streams img/s"],
     );
-    for cap in [0.1, 0.3, 0.6, 1.0] {
-        let mut row = vec![fnum(cap)];
-        for streams in [1usize, 4, 8] {
-            let mut node = NodeSpec::alibaba_v100_tcp();
-            node.nic = NicSpec { per_flow_cap: cap, ..node.nic };
-            let cluster = ClusterSpec::with_total_gpus(16, node);
-            let r = run_training_sim(
-                TrainingSimConfig::new(
-                    cluster,
-                    zoo::vgg16(),
-                    EngineKind::Aiacc(AiaccConfig::default().with_streams(streams)),
-                )
-                .with_iterations(1, 2),
-            );
-            row.push(fnum(r.samples_per_sec));
+    const CAPS: [f64; 4] = [0.1, 0.3, 0.6, 1.0];
+    const STREAMS: [usize; 3] = [1, 4, 8];
+    let mut points = Vec::new();
+    for cap in CAPS {
+        for streams in STREAMS {
+            points.push((cap, streams));
+        }
+    }
+    let results = par::map(&points, |&(cap, streams)| {
+        let mut node = NodeSpec::alibaba_v100_tcp();
+        node.nic = NicSpec { per_flow_cap: cap, ..node.nic };
+        let cluster = ClusterSpec::with_total_gpus(16, node);
+        let r = run_training_sim(
+            TrainingSimConfig::new(
+                cluster,
+                zoo::vgg16(),
+                EngineKind::Aiacc(AiaccConfig::default().with_streams(streams)),
+            )
+            .with_iterations(1, 2),
+        );
+        r.samples_per_sec
+    });
+    for (ci, cap) in CAPS.iter().enumerate() {
+        let mut row = vec![fnum(*cap)];
+        for si in 0..STREAMS.len() {
+            row.push(fnum(results[ci * STREAMS.len() + si]));
         }
         t.push(row);
     }
@@ -71,22 +92,23 @@ pub fn ablation_sync_scheme() -> Table {
         "Ablation: decentralized sync vs master negotiation (CTR model)",
         &["gpus", "aiacc rec/s", "horovod rec/s", "speedup"],
     );
-    for gpus in [16usize, 64, 128] {
-        let model = zoo::ctr_production();
-        let mk = |engine| {
-            run_training_sim(
-                TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
-                    .with_iterations(1, 2),
-            )
-        };
-        let a = mk(EngineKind::aiacc_default());
-        let h = mk(EngineKind::Horovod(Default::default()));
-        t.push(vec![
-            gpus.to_string(),
-            fnum(a.samples_per_sec),
-            fnum(h.samples_per_sec),
-            fnum(a.samples_per_sec / h.samples_per_sec),
-        ]);
+    const GPUS: [usize; 3] = [16, 64, 128];
+    let model = zoo::ctr_production();
+    let mut points = Vec::new();
+    for gpus in GPUS {
+        points.push((gpus, EngineKind::aiacc_default()));
+        points.push((gpus, EngineKind::Horovod(Default::default())));
+    }
+    let results = par::map(&points, |&(gpus, engine)| {
+        run_training_sim(
+            TrainingSimConfig::new(ClusterSpec::tcp_v100(gpus), model.clone(), engine)
+                .with_iterations(1, 2),
+        )
+        .samples_per_sec
+    });
+    for (i, gpus) in GPUS.iter().enumerate() {
+        let (a, h) = (results[2 * i], results[2 * i + 1]);
+        t.push(vec![gpus.to_string(), fnum(a), fnum(h), fnum(a / h)]);
     }
     t
 }
@@ -102,16 +124,20 @@ pub fn ablation_granularity() -> Table {
         "Ablation: all-reduce unit granularity (VGG-16, 32 GPUs, 8 streams)",
         &["granularity MiB", "img/s"],
     );
-    for gran in [0.5, 2.0, 8.0, 32.0, 128.0, 512.0] {
-        let r = run_training_sim(
+    const GRANS: [f64; 6] = [0.5, 2.0, 8.0, 32.0, 128.0, 512.0];
+    let results = par::map(&GRANS, |&gran| {
+        run_training_sim(
             TrainingSimConfig::new(
                 ClusterSpec::tcp_v100(32),
                 zoo::vgg16(),
                 EngineKind::Aiacc(AiaccConfig::default().with_granularity(gran * MIB)),
             )
             .with_iterations(1, 2),
-        );
-        t.push(vec![fnum(gran), fnum(r.samples_per_sec)]);
+        )
+        .samples_per_sec
+    });
+    for (gran, rate) in GRANS.iter().zip(&results) {
+        t.push(vec![fnum(*gran), fnum(*rate)]);
     }
     t
 }
@@ -122,22 +148,25 @@ pub fn ablation_tree_vs_ring() -> Table {
         "Ablation: ring vs tree all-reduce (ResNet-50)",
         &["gpus", "ring img/s", "tree img/s"],
     );
-    for gpus in [16usize, 64, 128] {
-        let mk = |algo| {
-            run_training_sim(
-                TrainingSimConfig::new(
-                    ClusterSpec::tcp_v100(gpus),
-                    zoo::resnet50(),
-                    EngineKind::Aiacc(AiaccConfig::default().with_algo(algo)),
-                )
-                .with_iterations(1, 2),
+    const GPUS: [usize; 3] = [16, 64, 128];
+    let mut points = Vec::new();
+    for gpus in GPUS {
+        points.push((gpus, Algo::Ring));
+        points.push((gpus, Algo::Tree));
+    }
+    let results = par::map(&points, |&(gpus, algo)| {
+        run_training_sim(
+            TrainingSimConfig::new(
+                ClusterSpec::tcp_v100(gpus),
+                zoo::resnet50(),
+                EngineKind::Aiacc(AiaccConfig::default().with_algo(algo)),
             )
-        };
-        t.push(vec![
-            gpus.to_string(),
-            fnum(mk(Algo::Ring).samples_per_sec),
-            fnum(mk(Algo::Tree).samples_per_sec),
-        ]);
+            .with_iterations(1, 2),
+        )
+        .samples_per_sec
+    });
+    for (i, gpus) in GPUS.iter().enumerate() {
+        t.push(vec![gpus.to_string(), fnum(results[2 * i]), fnum(results[2 * i + 1])]);
     }
     t
 }
@@ -152,28 +181,23 @@ pub fn ablation_byteps_servers() -> Table {
         "Ablation: BytePS extra CPU server nodes (VGG-16, 32 GPUs)",
         &["extra cpu servers", "img/s", "vs aiacc"],
     );
-    let aiacc = run_training_sim(
-        TrainingSimConfig::new(
-            ClusterSpec::tcp_v100(32),
-            zoo::vgg16(),
-            EngineKind::aiacc_default(),
+    const EXTRAS: [usize; 4] = [0, 4, 8, 16];
+    // Slot 0 is the AIACC reference; the rest are the BytePS server sweep.
+    let engines: Vec<EngineKind> = std::iter::once(EngineKind::aiacc_default())
+        .chain(EXTRAS.iter().map(|&extra| {
+            EngineKind::BytePs(BytePsConfig { extra_cpu_server_nodes: extra, ..Default::default() })
+        }))
+        .collect();
+    let results = par::map(&engines, |&engine| {
+        run_training_sim(
+            TrainingSimConfig::new(ClusterSpec::tcp_v100(32), zoo::vgg16(), engine)
+                .with_iterations(1, 2),
         )
-        .with_iterations(1, 2),
-    )
-    .samples_per_sec;
-    for extra in [0usize, 4, 8, 16] {
-        let r = run_training_sim(
-            TrainingSimConfig::new(
-                ClusterSpec::tcp_v100(32),
-                zoo::vgg16(),
-                EngineKind::BytePs(BytePsConfig {
-                    extra_cpu_server_nodes: extra,
-                    ..BytePsConfig::default()
-                }),
-            )
-            .with_iterations(1, 2),
-        );
-        t.push(vec![extra.to_string(), fnum(r.samples_per_sec), fnum(r.samples_per_sec / aiacc)]);
+        .samples_per_sec
+    });
+    let aiacc = results[0];
+    for (extra, rate) in EXTRAS.iter().zip(&results[1..]) {
+        t.push(vec![extra.to_string(), fnum(*rate), fnum(rate / aiacc)]);
     }
     t
 }
@@ -187,22 +211,25 @@ pub fn ablation_meta_solver(budget: usize) -> Table {
         "Ablation: meta-solver ensemble vs single techniques",
         &["strategy", "best iter s", "best streams"],
     );
-    // Full ensemble.
-    {
+    // The two strategies are independent tuning runs — fan them out. Both
+    // stay on the *serial* `run` path on purpose: this ablation measures the
+    // MAB's sequential credit assignment itself.
+    let strategies = ["ensemble (MAB)", "grid only"];
+    let results = par::map(&strategies, |&name| {
         let mut obj = SimObjective::new(cluster.clone(), model.clone(), None);
-        let mut tuner = Tuner::new(TuningSpace::default(), 5);
-        let r = tuner.run(&mut obj, budget);
-        t.push(vec!["ensemble (MAB)".into(), fnum(r.best_value), r.best.streams.to_string()]);
-    }
-    // Grid alone (representative single technique; others are stochastic
-    // variants of the same interface).
-    {
-        let mut obj = SimObjective::new(cluster, model, None);
-        let space = TuningSpace::default();
-        let searchers: Vec<Box<dyn Searcher>> = vec![Box::new(GridSearch::new(space.clone()))];
-        let mut tuner = Tuner::with_searchers(space, searchers);
-        let r = tuner.run(&mut obj, budget);
-        t.push(vec!["grid only".into(), fnum(r.best_value), r.best.streams.to_string()]);
+        let mut tuner = if name == "grid only" {
+            // Grid alone (representative single technique; others are
+            // stochastic variants of the same interface).
+            let space = TuningSpace::default();
+            let searchers: Vec<Box<dyn Searcher>> = vec![Box::new(GridSearch::new(space.clone()))];
+            Tuner::with_searchers(space, searchers)
+        } else {
+            Tuner::new(TuningSpace::default(), 5)
+        };
+        tuner.run(&mut obj, budget)
+    });
+    for (name, r) in strategies.iter().zip(&results) {
+        t.push(vec![(*name).into(), fnum(r.best_value), r.best.streams.to_string()]);
     }
     t
 }

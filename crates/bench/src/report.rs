@@ -34,6 +34,18 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// The table as TSV text — exactly the bytes [`write_tsv`](Self::write_tsv)
+    /// puts on disk (the determinism tests compare this form across worker
+    /// counts).
+    pub fn to_tsv(&self) -> String {
+        let mut s = format!("# {}\n{}\n", self.title, self.header.join("\t"));
+        for r in &self.rows {
+            s.push_str(&r.join("\t"));
+            s.push('\n');
+        }
+        s
+    }
+
     /// Writes the table as TSV.
     ///
     /// # Errors
@@ -43,12 +55,7 @@ impl Table {
             std::fs::create_dir_all(dir)?;
         }
         let mut f = std::fs::File::create(path)?;
-        writeln!(f, "# {}", self.title)?;
-        writeln!(f, "{}", self.header.join("\t"))?;
-        for r in &self.rows {
-            writeln!(f, "{}", r.join("\t"))?;
-        }
-        Ok(())
+        f.write_all(self.to_tsv().as_bytes())
     }
 }
 

@@ -7,7 +7,10 @@ use std::fmt;
 
 /// Identifier of a flow inside a [`crate::FlowNet`].
 ///
-/// Flow ids are unique for the lifetime of a network (never reused).
+/// Flow ids are unique for the lifetime of a network (never reused). The id
+/// packs a storage slot index and a per-slot generation counter; a slot
+/// reused by a later flow gets a new generation, so a stale id held after
+/// its flow completed never resolves to the replacement flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub(crate) u64);
 

@@ -4,7 +4,6 @@
 use crate::flow::{Flow, FlowId, FlowSpec};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a [`Resource`] (a link port, NIC direction, bus, …).
@@ -56,10 +55,57 @@ struct FlowState {
     rate: f64,
     activates_at: SimTime,
     active: bool,
+    /// Start-order sequence number: completions are delivered in this order
+    /// (slab slots are reused, so slot index order is not start order).
+    seq: u64,
+}
+
+/// One slab slot: a generation counter plus the (optional) resident flow.
+///
+/// The generation increments every time a flow leaves the slot, so a stale
+/// [`FlowId`] — which packs `(generation, slot)` — can never resolve to a
+/// later flow that happens to reuse the same slot.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    gen: u32,
+    state: Option<FlowState>,
+}
+
+/// Reusable scratch for [`FlowNet::recompute_rates`]: the solver runs on
+/// every flow start/finish/capacity change (the hot inner loop of every
+/// sweep), so its working set is hoisted here instead of being reallocated
+/// per call. All buffers are cleared before use; none carries state between
+/// solves.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Remaining capacity per resource during progressive filling.
+    residual: Vec<f64>,
+    /// Unfrozen-flow count per resource.
+    counts: Vec<u32>,
+    /// Slot indices of flows still growing.
+    unfrozen: Vec<u32>,
+    /// Next round's unfrozen set (swapped with `unfrozen`).
+    still: Vec<u32>,
+    /// Effective per-flow rate ceiling, indexed by slot
+    /// (`f64::INFINITY` = uncapped) — a flat vector instead of a per-call
+    /// `BTreeMap`.
+    eff_caps: Vec<f64>,
+    /// `(resource, cap, slot)` triples for the single-resource fast path.
+    single: Vec<(u32, f64, u32)>,
 }
 
 /// Minimum leftover bytes treated as "transfer complete" (guards float drift).
 const EPS_BYTES: f64 = 1e-3;
+
+/// Packs a slab slot index and its generation into a raw flow id.
+const fn pack_id(slot: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
+/// Splits a raw flow id into `(slot, generation)`.
+const fn unpack_id(id: u64) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
+}
 
 /// The fluid network model.
 ///
@@ -90,12 +136,21 @@ const EPS_BYTES: f64 = 1e-3;
 #[derive(Debug, Clone, Default)]
 pub struct FlowNet {
     resources: Vec<Resource>,
-    flows: BTreeMap<u64, FlowState>,
+    /// Generation-indexed flow slab: O(1) id → state, no per-flow
+    /// allocation churn, deterministic (LIFO) slot reuse.
+    slots: Vec<Slot>,
+    /// Vacant slot indices, most recently freed last.
+    free: Vec<u32>,
+    /// Number of occupied slots.
+    live: usize,
     now: SimTime,
-    next_id: u64,
+    /// Start-order counter stamped onto each flow (drives completion order).
+    next_seq: u64,
     rates_valid: bool,
     /// Cumulative bytes carried per resource (telemetry).
     carried: Vec<f64>,
+    /// Persistent solver working set (see [`Scratch`]).
+    scratch: Scratch,
 }
 
 impl FlowNet {
@@ -185,19 +240,53 @@ impl FlowNet {
         for r in &spec.path {
             assert!((r.0 as usize) < self.resources.len(), "unknown resource {r}");
         }
-        let id = FlowId(self.next_id);
-        self.next_id += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot::default());
+                u32::try_from(self.slots.len() - 1).expect("too many flows")
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        let id = FlowId(pack_id(slot, gen));
         let activates_at = self.now + spec.latency;
         let active = spec.latency.as_nanos() == 0;
         let remaining = spec.bytes;
-        self.flows.insert(id.0, FlowState { spec, remaining, rate: 0.0, activates_at, active });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots[slot as usize].state =
+            Some(FlowState { spec, remaining, rate: 0.0, activates_at, active, seq });
+        self.live += 1;
         self.rates_valid = false;
         id
     }
 
+    /// The resident flow for `id`, iff the id's generation matches the slot
+    /// (a completed/cancelled flow's id never resolves to a reused slot).
+    fn state(&self, id: FlowId) -> Option<&FlowState> {
+        let (slot, gen) = unpack_id(id.0);
+        self.slots.get(slot as usize).filter(|s| s.gen == gen).and_then(|s| s.state.as_ref())
+    }
+
+    /// Vacates `slot`, returning its flow and retiring the slot's current
+    /// generation so stale ids can never resurrect.
+    fn vacate(&mut self, slot: u32) -> FlowState {
+        let s = &mut self.slots[slot as usize];
+        let st = s.state.take().expect("vacating an empty slot");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        st
+    }
+
+    /// Occupied slots in index order (the solver's iteration order).
+    fn states(&self) -> impl Iterator<Item = &FlowState> {
+        self.slots.iter().filter_map(|s| s.state.as_ref())
+    }
+
     /// Read-only view of a flow still present in the network.
     pub fn flow(&self, id: FlowId) -> Option<Flow> {
-        self.flows.get(&id.0).map(|s| Flow {
+        self.state(id).map(|s| Flow {
             spec: s.spec.clone(),
             remaining: s.remaining,
             rate: s.rate,
@@ -207,7 +296,7 @@ impl FlowNet {
 
     /// Number of flows not yet completed (including latency-phase flows).
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.live
     }
 
     /// Aggregate allocated rate over a resource, in bytes/second.
@@ -221,12 +310,8 @@ impl FlowNet {
             // A downed link carries nothing by construction.
             return 0.0;
         }
-        let total: f64 = self
-            .flows
-            .values()
-            .filter(|f| f.active && f.spec.path.contains(&id))
-            .map(|f| f.rate)
-            .sum();
+        let total: f64 =
+            self.states().filter(|f| f.active && f.spec.path.contains(&id)).map(|f| f.rate).sum();
         total / capacity
     }
 
@@ -235,10 +320,10 @@ impl FlowNet {
     pub fn next_change(&mut self) -> Option<SimTime> {
         self.recompute_if_dirty();
         let mut best: Option<SimTime> = None;
-        for st in self.flows.values() {
+        for st in self.slots.iter().filter_map(|s| s.state.as_ref()) {
             let t = if !st.active {
                 st.activates_at
-            } else if st.remaining <= self.completion_eps(st.rate) {
+            } else if st.remaining <= completion_eps(st.rate) {
                 self.now
             } else if st.rate > 0.0 {
                 // Ceil to the next nanosecond so that advancing to `t`
@@ -268,7 +353,8 @@ impl FlowNet {
         self.recompute_if_dirty();
         let dt = (t - self.now).as_secs_f64();
         if dt > 0.0 {
-            for st in self.flows.values_mut() {
+            let carried = &mut self.carried;
+            for st in self.slots.iter_mut().filter_map(|s| s.state.as_mut()) {
                 if st.active {
                     if st.rate.is_infinite() {
                         st.remaining = 0.0;
@@ -276,14 +362,14 @@ impl FlowNet {
                         let moved = (st.rate * dt).min(st.remaining);
                         st.remaining -= moved;
                         for r in &st.spec.path {
-                            self.carried[r.as_u32() as usize] += moved;
+                            carried[r.as_u32() as usize] += moved;
                         }
                     }
                 }
             }
         }
         let mut activated = false;
-        for st in self.flows.values_mut() {
+        for st in self.slots.iter_mut().filter_map(|s| s.state.as_mut()) {
             if !st.active && st.activates_at <= t {
                 st.active = true;
                 activated = true;
@@ -295,45 +381,45 @@ impl FlowNet {
         self.now = t;
     }
 
-    /// Removes and returns all flows that have finished transferring, in flow
-    /// id order. Call after [`advance_to`](Self::advance_to).
+    /// Removes and returns all flows that have finished transferring, in
+    /// start order (ids are delivered oldest flow first). Call after
+    /// [`advance_to`](Self::advance_to).
     pub fn take_completed(&mut self) -> Vec<FlowId> {
-        // Borrow-friendly: collect ids first.
-        let done: Vec<u64> = self
-            .flows
+        // Borrow-friendly: collect (seq, slot) pairs first.
+        let mut done: Vec<(u64, u32)> = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(st) = &s.state {
+                if st.active && (st.remaining <= completion_eps(st.rate) || st.rate.is_infinite()) {
+                    done.push((st.seq, i as u32));
+                }
+            }
+        }
+        // Slot order is reuse order, not start order: sort by sequence so
+        // delivery (and downstream event handling) follows flow age.
+        done.sort_unstable();
+        let ids: Vec<FlowId> = done
             .iter()
-            .filter(|(_, st)| {
-                st.active && (st.remaining <= self.completion_eps(st.rate) || st.rate.is_infinite())
-            })
-            .map(|(&id, _)| id)
+            .map(|&(_, slot)| FlowId(pack_id(slot, self.slots[slot as usize].gen)))
             .collect();
         if !done.is_empty() {
-            for id in &done {
-                self.flows.remove(id);
+            for &(_, slot) in &done {
+                self.vacate(slot);
             }
             self.rates_valid = false;
         }
-        done.into_iter().map(FlowId).collect()
+        ids
     }
 
     /// Cancels a flow (e.g. elastic scale-down), returning `true` if it was
     /// present.
     pub fn cancel_flow(&mut self, id: FlowId) -> bool {
-        let removed = self.flows.remove(&id.0).is_some();
-        if removed {
-            self.rates_valid = false;
+        if self.state(id).is_none() {
+            return false;
         }
-        removed
-    }
-
-    fn completion_eps(&self, rate: f64) -> f64 {
-        // 2 ns worth of data at the current rate, at least EPS_BYTES: covers
-        // nanosecond rounding of completion times plus float drift.
-        if rate.is_finite() {
-            EPS_BYTES.max(rate * 2e-9)
-        } else {
-            f64::INFINITY
-        }
+        let (slot, _) = unpack_id(id.0);
+        self.vacate(slot);
+        self.rates_valid = false;
+        true
     }
 
     fn recompute_if_dirty(&mut self) {
@@ -344,93 +430,187 @@ impl FlowNet {
         self.rates_valid = true;
     }
 
-    /// The rate ceiling for one flow: its own [`FlowSpec::rate_cap`]
-    /// combined with every per-flow share limit on its path. Share limits
-    /// track the *current* capacity, so capacity mutation (fault
-    /// injection) tightens them automatically.
-    fn effective_cap(&self, st: &FlowState) -> Option<f64> {
-        let mut cap = st.spec.rate_cap;
-        for r in &st.spec.path {
-            let res = &self.resources[r.0 as usize];
-            if let Some(share) = res.flow_share {
-                let limit = share * res.capacity;
-                cap = Some(cap.map_or(limit, |c| c.min(limit)));
-            }
-        }
-        cap
-    }
-
     /// Progressive-filling max-min fairness with per-flow caps.
+    ///
+    /// This is the hot inner loop of every sweep: it runs on each flow
+    /// start, finish and capacity change. Two structural optimizations keep
+    /// it cheap: (1) all working buffers live in the persistent [`Scratch`]
+    /// (no per-call allocation), with the effective-cap cache as a flat
+    /// slot-indexed `Vec`; (2) the common case — every contending flow
+    /// loading exactly one resource — takes a closed-form water-fill
+    /// ([`Self::solve_single_resource`]) instead of iterative filling.
     fn recompute_rates(&mut self) {
-        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        // (flow key, frozen?)
-        let mut unfrozen: Vec<u64> = Vec::new();
-        for (&id, st) in self.flows.iter_mut() {
+        // Take the scratch out so the solver can borrow flows mutably while
+        // using the buffers (returned at the end; Scratch is all Vecs, so
+        // this is pointer shuffling, not allocation).
+        let mut sc = std::mem::take(&mut self.scratch);
+        sc.residual.clear();
+        sc.residual.extend(self.resources.iter().map(|r| r.capacity));
+        sc.unfrozen.clear();
+        sc.eff_caps.clear();
+        sc.eff_caps.resize(self.slots.len(), f64::INFINITY);
+        let mut all_single = true;
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            let Some(st) = s.state.as_mut() else { continue };
             st.rate = 0.0;
             if st.active && st.remaining > 0.0 {
-                unfrozen.push(id);
+                sc.unfrozen.push(i as u32);
+                if st.spec.path.len() != 1 {
+                    all_single = false;
+                }
             }
         }
-        let eff_caps: BTreeMap<u64, Option<f64>> =
-            unfrozen.iter().map(|&id| (id, self.effective_cap(&self.flows[&id]))).collect();
+        // Effective cap per unfrozen flow: its own rate cap combined with
+        // every per-flow share limit on its path. Share limits track the
+        // *current* capacity, so capacity mutation (fault injection)
+        // tightens them automatically.
+        for &i in &sc.unfrozen {
+            let st = self.slots[i as usize].state.as_ref().expect("unfrozen slot occupied");
+            let mut cap = st.spec.rate_cap.unwrap_or(f64::INFINITY);
+            for r in &st.spec.path {
+                let res = &self.resources[r.0 as usize];
+                if let Some(share) = res.flow_share {
+                    cap = cap.min(share * res.capacity);
+                }
+            }
+            sc.eff_caps[i as usize] = cap;
+        }
+        if sc.unfrozen.is_empty() {
+            self.scratch = sc;
+            return;
+        }
+        if all_single {
+            self.solve_single_resource(&mut sc);
+        } else {
+            self.solve_progressive(&mut sc);
+        }
+        self.scratch = sc;
+    }
+
+    /// Exact max-min for the case where every unfrozen flow loads exactly
+    /// one resource: resources are then independent, and the allocation on
+    /// each is a single sorted water-fill — flows whose cap is below the
+    /// running fair share get their cap, the rest split the remainder
+    /// equally. One `O(n log n)` pass replaces up to `n` progressive-filling
+    /// rounds.
+    fn solve_single_resource(&mut self, sc: &mut Scratch) {
+        sc.single.clear();
+        for &i in &sc.unfrozen {
+            let st = self.slots[i as usize].state.as_ref().expect("unfrozen slot occupied");
+            sc.single.push((st.spec.path[0].0, sc.eff_caps[i as usize], i));
+        }
+        // Group by resource; within a group ascending cap (slot index as the
+        // deterministic tie-break).
+        sc.single
+            .sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut g = 0;
+        while g < sc.single.len() {
+            let res = sc.single[g].0;
+            let mut end = g;
+            while end < sc.single.len() && sc.single[end].0 == res {
+                end += 1;
+            }
+            let mut remaining = self.resources[res as usize].capacity.max(0.0);
+            let mut left = end - g;
+            let mut j = g;
+            while j < end {
+                let fair = if remaining > 0.0 { remaining / left as f64 } else { 0.0 };
+                let (_, cap, slot) = sc.single[j];
+                if cap < fair {
+                    self.slots[slot as usize].state.as_mut().expect("occupied").rate = cap;
+                    remaining -= cap;
+                    left -= 1;
+                    j += 1;
+                } else {
+                    // Ascending caps: every remaining flow's cap is >= fair,
+                    // so they all settle at the equal share.
+                    for &(_, _, s) in &sc.single[j..end] {
+                        self.slots[s as usize].state.as_mut().expect("occupied").rate = fair;
+                    }
+                    break;
+                }
+            }
+            g = end;
+        }
+    }
+
+    /// General progressive filling: all unfrozen flows grow at the same
+    /// rate until a resource saturates or a flow hits its cap, repeating
+    /// until every flow is frozen.
+    fn solve_progressive(&mut self, sc: &mut Scratch) {
         let mut guard = 0usize;
-        while !unfrozen.is_empty() {
+        while !sc.unfrozen.is_empty() {
             guard += 1;
             assert!(
-                guard <= self.resources.len() + self.flows.len() + 2,
+                guard <= self.resources.len() + self.live + 2,
                 "progressive filling failed to converge"
             );
             // Per-resource unfrozen flow counts.
-            let mut counts = vec![0u32; self.resources.len()];
-            for &id in &unfrozen {
-                for r in &self.flows[&id].spec.path {
-                    counts[r.0 as usize] += 1;
+            sc.counts.clear();
+            sc.counts.resize(self.resources.len(), 0);
+            for &i in &sc.unfrozen {
+                let st = self.slots[i as usize].state.as_ref().expect("occupied");
+                for r in &st.spec.path {
+                    sc.counts[r.0 as usize] += 1;
                 }
             }
             // Water level: smallest equal increment that saturates a resource.
             let mut inc = f64::INFINITY;
-            for (i, &c) in counts.iter().enumerate() {
+            for (i, &c) in sc.counts.iter().enumerate() {
                 if c > 0 {
-                    inc = inc.min(residual[i].max(0.0) / c as f64);
+                    inc = inc.min(sc.residual[i].max(0.0) / c as f64);
                 }
             }
             // Or that drives a flow into its cap.
-            for &id in &unfrozen {
-                let st = &self.flows[&id];
-                if let Some(cap) = eff_caps[&id] {
+            for &i in &sc.unfrozen {
+                let st = self.slots[i as usize].state.as_ref().expect("occupied");
+                let cap = sc.eff_caps[i as usize];
+                if cap.is_finite() {
                     inc = inc.min((cap - st.rate).max(0.0));
                 }
             }
             if inc.is_infinite() {
                 // No resource and no cap constrains these flows: infinitely
                 // fast (zero-cost transfers, e.g. loopback control messages).
-                for &id in &unfrozen {
-                    self.flows.get_mut(&id).unwrap().rate = f64::INFINITY;
+                for &i in &sc.unfrozen {
+                    self.slots[i as usize].state.as_mut().expect("occupied").rate = f64::INFINITY;
                 }
                 break;
             }
-            for &id in &unfrozen {
-                let st = self.flows.get_mut(&id).unwrap();
+            for &i in &sc.unfrozen {
+                let st = self.slots[i as usize].state.as_mut().expect("occupied");
                 st.rate += inc;
                 for r in &st.spec.path {
-                    residual[r.0 as usize] -= inc;
+                    sc.residual[r.0 as usize] -= inc;
                 }
             }
             // Freeze flows at their cap or on a saturated resource.
-            let mut still: Vec<u64> = Vec::with_capacity(unfrozen.len());
-            for &id in &unfrozen {
-                let st = &self.flows[&id];
-                let capped = eff_caps[&id].is_some_and(|cap| st.rate >= cap - cap * 1e-12 - 1e-15);
+            sc.still.clear();
+            for &i in &sc.unfrozen {
+                let st = self.slots[i as usize].state.as_ref().expect("occupied");
+                let cap = sc.eff_caps[i as usize];
+                let capped = cap.is_finite() && st.rate >= cap - cap * 1e-12 - 1e-15;
                 let saturated = st.spec.path.iter().any(|r| {
-                    residual[r.0 as usize] <= self.resources[r.0 as usize].capacity * 1e-12
+                    sc.residual[r.0 as usize] <= self.resources[r.0 as usize].capacity * 1e-12
                 });
                 if !capped && !saturated {
-                    still.push(id);
+                    sc.still.push(i);
                 }
             }
-            assert!(still.len() < unfrozen.len(), "progressive filling made no progress");
-            unfrozen = still;
+            assert!(sc.still.len() < sc.unfrozen.len(), "progressive filling made no progress");
+            std::mem::swap(&mut sc.unfrozen, &mut sc.still);
         }
+    }
+}
+
+/// Minimum leftover bytes treated as "transfer complete": 2 ns worth of data
+/// at the current rate, at least [`EPS_BYTES`] — covers nanosecond rounding
+/// of completion times plus float drift.
+fn completion_eps(rate: f64) -> f64 {
+    if rate.is_finite() {
+        EPS_BYTES.max(rate * 2e-9)
+    } else {
+        f64::INFINITY
     }
 }
 

@@ -19,6 +19,10 @@
 //! * [`trace`] — `aiacc-trace`: a zero-overhead-when-off structured tracing
 //!   sink ([`TraceSink`]) owned by the simulator, with Chrome-trace/Perfetto
 //!   JSON export and overlap/busy-time summaries.
+//! * [`par`] — a deterministic fan-out runner: independent seeded
+//!   simulations execute on N worker threads with results collected in
+//!   submission order, so parallel sweeps are bit-identical to serial runs
+//!   (`--jobs N` / `AIACC_JOBS`).
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 mod faults;
 mod flow;
 mod flownet;
+pub mod par;
 mod sim;
 mod telemetry;
 mod time;

@@ -66,7 +66,7 @@ struct TimerEntry {
 ///
 /// Events are delivered in time order; ties are broken deterministically
 /// (timers before flow completions at the same instant, timers in scheduling
-/// order, flows in id order).
+/// order, flows in start order).
 ///
 /// # Example
 /// ```
@@ -269,7 +269,7 @@ impl Simulator {
                     // recurse to find the next real event.
                     return self.next_event();
                 }
-                // Deliver in id order: pop() takes from the back.
+                // Deliver in start order: pop() takes from the back.
                 done.reverse();
                 self.pending_flows = done;
                 if self.trace.is_enabled() {

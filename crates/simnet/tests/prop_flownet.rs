@@ -111,6 +111,50 @@ proptest! {
         }
     }
 
+    /// Slot reuse never resurrects a completed flow: after a flow finishes,
+    /// its id must stay dead (`flow()` returns `None`, `cancel_flow` is a
+    /// no-op) even when later flows recycle the same storage slot — the
+    /// generation stamp in the id must not match the slot's new tenant.
+    #[test]
+    fn completed_flow_ids_never_resurrect(
+        waves in prop::collection::vec(prop::collection::vec(1.0..1e4f64, 1..8), 2..6)
+    ) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 1e4);
+        let mut dead: Vec<aiacc_simnet::FlowId> = Vec::new();
+        for sizes in &waves {
+            // Start a wave (this reuses slots vacated by earlier waves),
+            // then run it to completion.
+            let live: Vec<_> = sizes
+                .iter()
+                .map(|&s| net.start_flow(FlowSpec::new(vec![r], s)))
+                .collect();
+            for id in &dead {
+                prop_assert!(net.flow(*id).is_none(), "dead id {id} resolves after reuse");
+                prop_assert!(!live.contains(id), "dead id {id} was handed out again");
+            }
+            let mut guard = 0;
+            while let Some(t) = net.next_change() {
+                guard += 1;
+                prop_assert!(guard < 10_000);
+                net.advance_to(t);
+                dead.extend(net.take_completed());
+            }
+            prop_assert_eq!(net.flow_count(), 0, "wave did not drain");
+            for id in &live {
+                prop_assert!(net.flow(*id).is_none(), "completed id {id} still resolves");
+            }
+            // Cancelling a dead id must not disturb the (empty) network.
+            if let Some(id) = dead.first() {
+                net.cancel_flow(*id);
+                prop_assert_eq!(net.flow_count(), 0);
+            }
+        }
+        // All dead ids are distinct: generations make reused slots unique.
+        let unique: std::collections::BTreeSet<_> = dead.iter().collect();
+        prop_assert_eq!(unique.len(), dead.len(), "flow ids were reused");
+    }
+
     /// Single saturating flow on one link finishes at exactly bytes/capacity
     /// (+ latency), regardless of cap >= capacity.
     #[test]

@@ -9,11 +9,14 @@
 use crate::engines::EngineKind;
 use crate::sim::{TrainingSim, TrainingSimConfig};
 use aiacc_autotune::cache::{GraphSig, TopoSig, TuningCache};
-use aiacc_autotune::{Objective, TuneAlgo, TuneReport, Tuner, TuningConfig, TuningSpace};
+use aiacc_autotune::{
+    BatchObjective, Objective, TuneAlgo, TuneReport, Tuner, TuningConfig, TuningSpace,
+};
 use aiacc_cluster::ClusterSpec;
 use aiacc_collectives::Algo;
 use aiacc_core::AiaccConfig;
 use aiacc_dnn::ModelProfile;
+use aiacc_simnet::par;
 
 /// Maps a tuner lattice point onto an AIACC engine configuration.
 pub fn aiacc_config_from(t: &TuningConfig) -> AiaccConfig {
@@ -59,12 +62,13 @@ impl SimObjective {
     }
 }
 
-impl Objective for SimObjective {
-    fn evaluate(&mut self, cfg: &TuningConfig) -> f64 {
-        self.evals += 1;
-        // A fixed jitter seed keeps the objective a pure function of the
-        // configuration: the search then ranks configurations by their real
-        // communication cost instead of by compute-jitter luck.
+impl SimObjective {
+    /// One warm-up iteration under `cfg`. A pure function of the
+    /// configuration (fixed jitter seed — the search then ranks
+    /// configurations by their real communication cost instead of by
+    /// compute-jitter luck), which is also what makes concurrent batch
+    /// evaluation safe: workers share nothing and order cannot matter.
+    fn score(&self, cfg: &TuningConfig) -> f64 {
         let mut sim_cfg = TrainingSimConfig::new(
             self.cluster.clone(),
             self.model.clone(),
@@ -74,6 +78,25 @@ impl Objective for SimObjective {
         sim_cfg.batch_per_gpu = self.batch_per_gpu;
         let mut sim = TrainingSim::new(sim_cfg);
         sim.run_iteration().as_secs_f64()
+    }
+}
+
+impl Objective for SimObjective {
+    fn evaluate(&mut self, cfg: &TuningConfig) -> f64 {
+        self.evals += 1;
+        self.score(cfg)
+    }
+}
+
+impl BatchObjective for SimObjective {
+    /// Evaluates a whole tuner round concurrently on the ambient
+    /// [`par::jobs`] worker count. Each trial simulation is independent and
+    /// fully seeded, so the returned values are bit-identical to serial
+    /// evaluation regardless of worker count.
+    fn evaluate_batch(&mut self, cfgs: &[TuningConfig]) -> Vec<f64> {
+        self.evals += cfgs.len() as u64;
+        let this: &SimObjective = self;
+        par::map(cfgs, |cfg| this.score(cfg))
     }
 }
 
@@ -94,7 +117,9 @@ pub fn tune_aiacc(
 
     let mut objective = SimObjective::new(cluster.clone(), model.clone(), None);
     let mut tuner = Tuner::new(TuningSpace::default(), seed);
-    let report = tuner.run_with_prior(&mut objective, budget, prior);
+    // Batched: each bandit round's proposals are simulated concurrently
+    // (see `aiacc_simnet::par`); observation order stays deterministic.
+    let report = tuner.run_batched(&mut objective, budget, prior);
 
     if let Some(c) = cache {
         c.store(graph, topo, report.best, report.best_value);

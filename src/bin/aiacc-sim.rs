@@ -6,7 +6,12 @@
 //!           [--streams N] [--granularity MIB] [--batch N] [--rdma]
 //!           [--compression] [--tree] [--tune BUDGET] [--iters N]
 //!           [--faults degrade|flap|straggler|crash] [--trace OUT.json]
+//!           [--jobs N]
 //! ```
+//!
+//! `--jobs N` (or the `AIACC_JOBS` environment variable) sets how many
+//! worker threads parallel sweeps — e.g. the `--tune` batch evaluations —
+//! may use. Results are bit-identical regardless of the worker count.
 //!
 //! Examples:
 //! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
@@ -33,6 +38,7 @@ struct Args {
     iters: usize,
     faults: Option<String>,
     trace: Option<String>,
+    jobs: Option<usize>,
 }
 
 /// Builds the canned fault scenario selected by `--faults`.
@@ -86,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         iters: 3,
         faults: None,
         trace: None,
+        jobs: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -119,11 +126,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--faults" => args.faults = Some(value(&mut i)?),
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--jobs" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive integer".to_string());
+                }
+                args.jobs = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: aiacc-sim [--model NAME] [--gpus N] [--engine E] \
                             [--streams N] [--granularity MIB] [--batch N] [--rdma] \
                             [--compression] [--tree] [--tune BUDGET] [--iters N] \
-                            [--faults degrade|flap|straggler|crash] [--trace OUT.json]"
+                            [--faults degrade|flap|straggler|crash] [--trace OUT.json] \
+                            [--jobs N]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -141,6 +156,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(n) = args.jobs {
+        aiacc::simnet::par::set_jobs(n);
+    }
     let Some(model) = zoo::by_name(&args.model) else {
         eprintln!(
             "unknown model {}; available: vgg16 resnet50 resnet101 transformer bert_large \

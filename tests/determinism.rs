@@ -58,6 +58,40 @@ fn tuner_is_reproducible_given_seed() {
 }
 
 #[test]
+fn parallel_sweeps_are_bit_identical_across_worker_counts() {
+    use aiacc::simnet::par;
+    // A figure table (many independent sweep points) and a tuning report
+    // (batched tuner) must not change by a single byte when the worker
+    // count does. Serialize both to their TSV form to compare the exact
+    // bytes a user would diff.
+    let run = |jobs: usize| {
+        par::set_jobs(jobs);
+        let table = aiacc_bench::ablation_granularity().to_tsv();
+        let (cfg, report) = aiacc::trainer::tune::tune_aiacc(
+            &zoo::tiny_cnn(),
+            &ClusterSpec::tcp_v100(8),
+            9,
+            4,
+            None,
+        );
+        par::set_jobs(1);
+        (table, cfg, report)
+    };
+    let serial = run(1);
+    for jobs in [2, 8] {
+        let parallel = run(jobs);
+        assert_eq!(parallel.0, serial.0, "Table TSV differs at --jobs {jobs}");
+        assert_eq!(parallel.1, serial.1, "tuned config differs at --jobs {jobs}");
+        assert_eq!(
+            parallel.2.evaluations, serial.2.evaluations,
+            "TuneReport evaluations differ at --jobs {jobs}"
+        );
+        assert_eq!(parallel.2.usage, serial.2.usage, "bandit usage differs at --jobs {jobs}");
+        assert_eq!(parallel.2.best_value.to_bits(), serial.2.best_value.to_bits());
+    }
+}
+
+#[test]
 fn simulator_event_order_is_stable_under_ties() {
     // Schedule many coincident timers and flows; the delivered order must be
     // a pure function of the inputs.
