@@ -112,7 +112,6 @@ impl BytePsEngine {
     fn push_pull_phases(&self, cx: &DdlCtx<'_>, bytes: f64) -> VecDeque<Vec<FlowSpec>> {
         let spec = cx.cluster.spec();
         let nodes = spec.nodes;
-        let gpn = spec.node.gpus_per_node as f64;
         let w = self.world as f64;
         let s = (nodes + self.cfg.extra_cpu_server_nodes) as f64;
         let lat = spec.node.nic.latency;
@@ -132,18 +131,22 @@ impl BytePsEngine {
             return VecDeque::from(vec![push, pull]);
         }
 
-        // Worker-node egress per push: its g workers send (S−1)/S of their
-        // gradient off-node (the 1/S slice for the co-located server stays).
-        let worker_tx_bytes = gpn * bytes * (s - 1.0) / s;
-        // Co-located server ingress per push: 1/S slice from every remote
-        // worker.
-        let colocated_rx_bytes = (w - gpn) * bytes / s;
         // Extra (dedicated) server ingress: 1/S slice from ALL workers.
         let extra_rx_bytes = w * bytes / s;
 
         let mut push = Vec::new();
         let mut pull = Vec::new();
         for n in 0..nodes {
+            // A partial tail node hosts fewer workers, so it sends and
+            // receives proportionally less.
+            let gn = spec.gpus_on_node(n) as f64;
+            // Worker-node egress per push: its g_n workers send (S−1)/S of
+            // their gradient off-node (the 1/S slice for the co-located
+            // server stays).
+            let worker_tx_bytes = gn * bytes * (s - 1.0) / s;
+            // Co-located server ingress per push: 1/S slice from every
+            // remote worker.
+            let colocated_rx_bytes = (w - gn) * bytes / s;
             let tx = cx.cluster.node_tx_resource(n);
             let rx = cx.cluster.node_rx_resource(n);
             if worker_tx_bytes > 0.0 {

@@ -63,7 +63,6 @@ impl KvStoreEngine {
         let spec = cx.cluster.spec();
         let nodes = spec.nodes;
         let lat = spec.node.nic.latency;
-        let gpn = spec.node.gpus_per_node as f64;
 
         let phases: VecDeque<Vec<FlowSpec>> = if nodes == 1 {
             // Single node: server co-located, NVLink push/pull.
@@ -83,11 +82,13 @@ impl KvStoreEngine {
                 if n == server {
                     continue;
                 }
-                // Whole gradients from each remote node's g workers.
+                // Whole gradients from each remote node's workers (a partial
+                // tail node sends proportionally less).
+                let gn = spec.gpus_on_node(n) as f64;
                 let p = cx.cluster.node_path(n, server);
-                push.push(FlowSpec::new(p.resources.clone(), gpn * info.bytes).with_latency(lat));
+                push.push(FlowSpec::new(p.resources.clone(), gn * info.bytes).with_latency(lat));
                 let q = cx.cluster.node_path(server, n);
-                pull.push(FlowSpec::new(q.resources.clone(), gpn * info.bytes).with_latency(lat));
+                pull.push(FlowSpec::new(q.resources.clone(), gn * info.bytes).with_latency(lat));
             }
             VecDeque::from(vec![push, pull])
         };

@@ -4,7 +4,8 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR] [--jobs N]
 //!
 //! EXPERIMENT: table1 bandwidth fig2 fig9 fig10 fig11 fig12 fig13 fig14
-//!             fig15 ctr insightface dawnbench tuning ablations all
+//!             fig15 fig_multijob ctr insightface dawnbench tuning
+//!             ablations all
 //! --quick     reduced GPU sweep (1/8/32) and smaller tuning budgets
 //! --out DIR   also write each table as TSV under DIR (default: results/)
 //! --jobs N    fan sweep points out over N worker threads (default:
@@ -73,6 +74,12 @@ fn main() {
     run("fig13", &mut || fig13_hybrid(sweep));
     run("fig14", &mut fig14_batch_sweep);
     run("fig15", &mut fig15_rdma);
+    run("fig_multijob", &mut || {
+        fig_multijob(
+            if quick { MULTIJOB_QUICK_SWEEP } else { MULTIJOB_SWEEP },
+            if quick { 3 } else { 6 },
+        )
+    });
     run("ctr", &mut || ctr_production_speedup(big_gpus));
     run("insightface", &mut || insightface_speedup(big_gpus));
     run("dawnbench", &mut dawnbench_table);
@@ -98,7 +105,7 @@ fn main() {
     if ran == 0 {
         eprintln!(
             "unknown experiment(s): {wanted:?}\nknown: table1 bandwidth fig2 fig9 fig10 fig11 \
-             fig12 fig13 fig14 fig15 ctr insightface dawnbench tuning ablations all"
+             fig12 fig13 fig14 fig15 fig_multijob ctr insightface dawnbench tuning ablations all"
         );
         std::process::exit(2);
     }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 mod exp_further;
+mod exp_multijob;
 mod exp_overall;
 mod exp_tuning;
 mod report;
@@ -18,6 +19,7 @@ pub use exp_further::{
     bandwidth_utilization, ctr_production_speedup, dawnbench_table, fig13_hybrid,
     fig14_batch_sweep, fig15_rdma, insightface_speedup, table1_models,
 };
+pub use exp_multijob::{fig_multijob, MULTIJOB_QUICK_SWEEP, MULTIJOB_SWEEP};
 pub use exp_overall::{fig10_nlp, fig11_tensorflow, fig12_mxnet, fig2_motivation, fig9_cv};
 pub use exp_tuning::{
     ablation_byteps_servers, ablation_flow_cap, ablation_granularity, ablation_meta_solver,

@@ -1,0 +1,130 @@
+//! Deterministic per-node GPU free-list used by gang placement.
+//!
+//! The scheduler allocates *specific* global ranks, not just counts: a gang's
+//! logical cluster is mapped onto physical resources via
+//! [`crate::ClusterNet::subnet`], so the allocator must say exactly which
+//! GPUs (and therefore which NVLink/PCIe/NIC resources) a job occupies.
+//! Free GPUs are handed out lowest-rank-first within a node, which keeps
+//! every allocation a pure function of the request sequence — a requirement
+//! for the bit-determinism the whole harness is built around.
+
+use crate::spec::ClusterSpec;
+
+/// Tracks which GPUs of a physical cluster are free, per node.
+///
+/// # Example
+/// ```
+/// use aiacc_cluster::{ClusterSpec, GpuFreeList};
+/// let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(16));
+/// let gang = fl.take(1, 4); // 4 GPUs on node 1
+/// assert_eq!(gang, vec![8, 9, 10, 11]);
+/// assert_eq!(fl.free_on_node(1), 4);
+/// fl.release(&gang);
+/// assert_eq!(fl.free_on_node(1), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuFreeList {
+    spec: ClusterSpec,
+    /// Sorted free *local* ranks per node.
+    free: Vec<Vec<usize>>,
+}
+
+impl GpuFreeList {
+    /// A free list over `spec` with every GPU available.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        let free = (0..spec.nodes).map(|n| (0..spec.gpus_on_node(n)).collect()).collect();
+        GpuFreeList { spec: spec.clone(), free }
+    }
+
+    /// The physical cluster this list allocates from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of free GPUs on node `node`.
+    pub fn free_on_node(&self, node: usize) -> usize {
+        self.free[node].len()
+    }
+
+    /// Total free GPUs across the cluster.
+    pub fn total_free(&self) -> usize {
+        self.free.iter().map(Vec::len).sum()
+    }
+
+    /// Takes the `count` lowest free GPUs on `node`, returning their
+    /// *global* ranks in ascending order.
+    ///
+    /// # Panics
+    /// Panics if the node has fewer than `count` free GPUs.
+    pub fn take(&mut self, node: usize, count: usize) -> Vec<usize> {
+        assert!(
+            count <= self.free[node].len(),
+            "node {node} has {} free GPUs, requested {count}",
+            self.free[node].len()
+        );
+        let base = node * self.spec.node.gpus_per_node;
+        self.free[node].drain(..count).map(|l| base + l).collect()
+    }
+
+    /// Returns previously-taken global ranks to the pool.
+    ///
+    /// # Panics
+    /// Panics if a rank is out of range or already free.
+    pub fn release(&mut self, ranks: &[usize]) {
+        for &r in ranks {
+            let node = self.spec.node_of(r);
+            let local = self.spec.local_rank(r);
+            let slot = self.free[node].partition_point(|&l| l < local);
+            assert!(self.free[node].get(slot) != Some(&local), "double release of global rank {r}");
+            self.free[node].insert(slot, local);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_lowest_first_and_global() {
+        let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(24));
+        assert_eq!(fl.take(2, 3), vec![16, 17, 18]);
+        assert_eq!(fl.take(2, 2), vec![19, 20]);
+        assert_eq!(fl.free_on_node(2), 3);
+        assert_eq!(fl.total_free(), 19);
+    }
+
+    #[test]
+    fn release_restores_order() {
+        let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(8));
+        let a = fl.take(0, 2); // [0, 1]
+        let b = fl.take(0, 2); // [2, 3]
+        fl.release(&a);
+        // Freed low ranks come back before the still-free high ones.
+        assert_eq!(fl.take(0, 3), vec![0, 1, 4]);
+        fl.release(&b);
+        assert_eq!(fl.free_on_node(0), 5);
+    }
+
+    #[test]
+    fn partial_tail_node_has_smaller_pool() {
+        let fl = GpuFreeList::new(&ClusterSpec::tcp_v100(12));
+        assert_eq!(fl.free_on_node(0), 8);
+        assert_eq!(fl.free_on_node(1), 4);
+        assert_eq!(fl.total_free(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "free GPUs")]
+    fn overdraw_rejected() {
+        let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(8));
+        let _ = fl.take(0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_rejected() {
+        let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(8));
+        fl.release(&[3]);
+    }
+}

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
 mod compute;
 mod spec;
 mod topology;
 
+pub use alloc::GpuFreeList;
 pub use compute::{jitter_factor, ComputeModel, IterationTiming};
 pub use spec::{ClusterSpec, GpuSpec, NetKind, NicSpec, NodeSpec};
 pub use topology::{ClusterNet, PathInfo};

@@ -138,13 +138,22 @@ impl NodeSpec {
     }
 }
 
-/// A homogeneous cluster of nodes.
+/// A homogeneous cluster of nodes, optionally with a partially-populated
+/// last node.
+///
+/// All nodes share one [`NodeSpec`]. When `tail_gpus > 0` the *last* node
+/// hosts only `tail_gpus` GPUs instead of `node.gpus_per_node` — this is how
+/// gang sizes like 12 GPUs on 8-GPU nodes (1 full node + 4-GPU tail) are
+/// expressed. Global ranks stay node-contiguous: node `n` starts at rank
+/// `n * gpus_per_node`, so rank↔node arithmetic is unchanged by a tail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
-    /// Number of nodes.
+    /// Number of nodes (including the partial last node, if any).
     pub nodes: usize,
     /// Per-node hardware.
     pub node: NodeSpec,
+    /// GPUs on the last node, `0` meaning "full" (`node.gpus_per_node`).
+    pub tail_gpus: usize,
 }
 
 impl ClusterSpec {
@@ -157,7 +166,29 @@ impl ClusterSpec {
         assert!(nodes > 0, "cluster needs at least one node");
         assert!(node.gpus_per_node > 0, "node needs at least one GPU");
         node.nic.validate();
-        ClusterSpec { nodes, node }
+        ClusterSpec { nodes, node, tail_gpus: 0 }
+    }
+
+    /// Creates a cluster of `nodes - 1` full nodes plus a last node hosting
+    /// only `tail_gpus` GPUs. `tail_gpus == 0` (or the full node size) yields
+    /// a plain homogeneous cluster.
+    ///
+    /// # Panics
+    /// Panics on the [`ClusterSpec::new`] conditions, or if `tail_gpus`
+    /// exceeds the node size, or if a partial node is requested for a
+    /// single-GPU node size.
+    pub fn with_tail(nodes: usize, node: NodeSpec, tail_gpus: usize) -> Self {
+        assert!(
+            tail_gpus <= node.gpus_per_node,
+            "tail of {tail_gpus} GPUs exceeds node size {}",
+            node.gpus_per_node
+        );
+        let mut spec = ClusterSpec::new(nodes, node);
+        if tail_gpus > 0 && tail_gpus < spec.node.gpus_per_node {
+            assert!(nodes > 1, "a single-node cluster of {tail_gpus} GPUs should shrink the node");
+            spec.tail_gpus = tail_gpus;
+        }
+        spec
     }
 
     /// Paper-style TCP cluster with `total_gpus` V100s: a single node for up
@@ -179,29 +210,47 @@ impl ClusterSpec {
 
     /// Builds a cluster of `total_gpus` GPUs from a node template.
     ///
+    /// Counts at or below the node size shrink to a single (smaller) node;
+    /// larger counts that are not a multiple of the node size get a partial
+    /// last node (e.g. 12 GPUs on 8-GPU nodes → one full node + a 4-GPU
+    /// tail).
+    ///
     /// # Panics
-    /// Panics if `total_gpus` is zero or not a multiple of the node size when
-    /// above it.
+    /// Panics if `total_gpus` is zero.
     pub fn with_total_gpus(total_gpus: usize, mut node: NodeSpec) -> Self {
         assert!(total_gpus > 0, "need at least one GPU");
         if total_gpus <= node.gpus_per_node {
             node.gpus_per_node = total_gpus;
             ClusterSpec::new(1, node)
         } else {
-            assert_eq!(
-                total_gpus % node.gpus_per_node,
-                0,
-                "GPU count {total_gpus} is not a multiple of node size {}",
-                node.gpus_per_node
-            );
-            let nodes = total_gpus / node.gpus_per_node;
-            ClusterSpec::new(nodes, node)
+            let gpn = node.gpus_per_node;
+            let nodes = total_gpus.div_ceil(gpn);
+            Self::with_tail(nodes, node, total_gpus % gpn)
         }
     }
 
     /// Total number of GPU workers.
     pub fn world_size(&self) -> usize {
-        self.nodes * self.node.gpus_per_node
+        let gpn = self.node.gpus_per_node;
+        if self.tail_gpus > 0 {
+            (self.nodes - 1) * gpn + self.tail_gpus
+        } else {
+            self.nodes * gpn
+        }
+    }
+
+    /// Number of GPUs hosted by node `node` (smaller than the node size only
+    /// for a partial last node).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn gpus_on_node(&self, node: usize) -> usize {
+        assert!(node < self.nodes, "node {node} out of range");
+        if self.tail_gpus > 0 && node == self.nodes - 1 {
+            self.tail_gpus
+        } else {
+            self.node.gpus_per_node
+        }
     }
 
     /// Node index hosting global rank `rank`.
@@ -271,9 +320,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a multiple")]
-    fn uneven_gpu_count_rejected() {
-        let _ = ClusterSpec::tcp_v100(12);
+    fn uneven_gpu_count_gets_partial_last_node() {
+        // Regression: 12 GPUs on 8-GPU nodes used to be rejected outright.
+        let c = ClusterSpec::tcp_v100(12);
+        assert_eq!(c.nodes, 2);
+        assert_eq!(c.tail_gpus, 4);
+        assert_eq!(c.world_size(), 12);
+        assert_eq!(c.gpus_on_node(0), 8);
+        assert_eq!(c.gpus_on_node(1), 4);
+        // Ranks stay node-contiguous: the tail node starts at rank 8.
+        assert_eq!(c.node_of(7), 0);
+        assert_eq!(c.node_of(8), 1);
+        assert_eq!(c.node_of(11), 1);
+        assert_eq!(c.local_rank(11), 3);
+    }
+
+    #[test]
+    fn full_tail_collapses_to_homogeneous() {
+        let c = ClusterSpec::with_tail(2, NodeSpec::alibaba_v100_tcp(), 8);
+        assert_eq!(c.tail_gpus, 0);
+        assert_eq!(c.world_size(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tail_rank_past_world_size_rejected() {
+        let c = ClusterSpec::tcp_v100(12);
+        let _ = c.node_of(12);
     }
 
     #[test]

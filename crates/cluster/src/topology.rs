@@ -101,6 +101,63 @@ impl ClusterNet {
         &self.spec
     }
 
+    /// A logical view of this network for a gang scheduled onto a subset of
+    /// its GPUs.
+    ///
+    /// `spec` is the gang's *logical* cluster (what the job's engine and
+    /// collective builders see); `ranks[i]` is the physical global rank
+    /// backing logical rank `i`. No new resources are created — the view
+    /// aliases the parent's NVLink/PCIe/NIC resources, so flows from
+    /// different gangs sharing a physical node contend on the same NIC
+    /// inside one `FlowNet`. This is how the multi-job scheduler gets
+    /// shared-fabric contention for free.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is not a duplicate-free list of `spec.world_size()`
+    /// valid physical ranks, if a logical node spans physical nodes (gangs
+    /// are placed node-contiguously), if two logical nodes share a physical
+    /// node, or if the logical node hardware differs from the physical.
+    pub fn subnet(&self, spec: ClusterSpec, ranks: &[usize]) -> ClusterNet {
+        assert_eq!(ranks.len(), spec.world_size(), "rank list does not match logical world size");
+        assert_eq!(spec.node.nic, self.spec.node.nic, "subnet NIC differs from physical");
+        assert_eq!(spec.node.gpu, self.spec.node.gpu, "subnet GPU differs from physical");
+        let mut seen = vec![false; self.spec.world_size()];
+        let mut gpu_tx = Vec::with_capacity(ranks.len());
+        let mut gpu_rx = Vec::with_capacity(ranks.len());
+        let mut pcie_tx = Vec::with_capacity(ranks.len());
+        let mut pcie_rx = Vec::with_capacity(ranks.len());
+        for (i, &phys) in ranks.iter().enumerate() {
+            assert!(phys < self.spec.world_size(), "physical rank {phys} out of range");
+            assert!(!seen[phys], "physical rank {phys} assigned twice (logical rank {i})");
+            seen[phys] = true;
+            gpu_tx.push(self.gpu_tx[phys]);
+            gpu_rx.push(self.gpu_rx[phys]);
+            pcie_tx.push(self.pcie_tx[phys]);
+            pcie_rx.push(self.pcie_rx[phys]);
+        }
+        let mut node_tx = Vec::with_capacity(spec.nodes);
+        let mut node_rx = Vec::with_capacity(spec.nodes);
+        let mut node_seen = vec![false; self.spec.nodes];
+        let mut rank = 0;
+        for n in 0..spec.nodes {
+            let count = spec.gpus_on_node(n);
+            let phys_node = self.spec.node_of(ranks[rank]);
+            for l in 0..count {
+                assert_eq!(
+                    self.spec.node_of(ranks[rank + l]),
+                    phys_node,
+                    "logical node {n} spans physical nodes"
+                );
+            }
+            assert!(!node_seen[phys_node], "two logical nodes share physical node {phys_node}");
+            node_seen[phys_node] = true;
+            node_tx.push(self.node_tx[phys_node]);
+            node_rx.push(self.node_rx[phys_node]);
+            rank += count;
+        }
+        ClusterNet { spec, gpu_tx, gpu_rx, pcie_tx, pcie_rx, node_tx, node_rx }
+    }
+
     /// Path for a GPU-to-GPU transfer between global ranks.
     ///
     /// Same-node transfers ride NVLink (uncapped, ~1 µs); cross-node
@@ -256,5 +313,62 @@ mod tests {
         let mut net = FlowNet::new();
         let c = ClusterNet::build(&ClusterSpec::tcp_v100(8), &mut net);
         let _ = c.path(2, 2);
+    }
+
+    #[test]
+    fn subnet_aliases_physical_resources() {
+        let mut net = FlowNet::new();
+        let phys = ClusterNet::build(&ClusterSpec::tcp_v100(32), &mut net);
+        // A 2-node × 4-GPU gang on physical nodes 1 and 3, GPUs 4..8 of each.
+        let mut lspec = ClusterSpec::tcp_v100(32);
+        lspec.nodes = 2;
+        lspec.node.gpus_per_node = 4;
+        let ranks = vec![12, 13, 14, 15, 28, 29, 30, 31];
+        let sub = phys.subnet(lspec, &ranks);
+        // No new resources were created.
+        assert_eq!(net.resource_count(), 32 * 4 + 4 * 2);
+        // Logical rank 0 is physical rank 12; the cross-(logical-)node path
+        // uses physical node 1's and node 3's NICs.
+        assert_eq!(sub.gpu_tx_resource(0), phys.gpu_tx_resource(12));
+        let p = sub.path(0, 4);
+        assert_eq!(p.resources[1], phys.node_tx_resource(1));
+        assert_eq!(p.resources[2], phys.node_rx_resource(3));
+        // Intra-(logical-)node traffic stays on NVLink.
+        assert_eq!(sub.path(0, 1).rate_cap, None);
+    }
+
+    #[test]
+    fn subnet_supports_partial_tail_gang() {
+        let mut net = FlowNet::new();
+        let phys = ClusterNet::build(&ClusterSpec::tcp_v100(32), &mut net);
+        // A 12-GPU gang: one full logical node + a 4-GPU tail.
+        let lspec = ClusterSpec::tcp_v100(12);
+        assert_eq!(lspec.tail_gpus, 4);
+        let ranks: Vec<usize> = (8..16).chain(16..20).collect();
+        let sub = phys.subnet(lspec, &ranks);
+        assert_eq!(sub.spec().world_size(), 12);
+        assert_eq!(sub.path(0, 8).resources[1], phys.node_tx_resource(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "spans physical nodes")]
+    fn subnet_rejects_split_logical_node() {
+        let mut net = FlowNet::new();
+        let phys = ClusterNet::build(&ClusterSpec::tcp_v100(16), &mut net);
+        let mut lspec = ClusterSpec::tcp_v100(16);
+        lspec.nodes = 1;
+        lspec.node.gpus_per_node = 4;
+        let _ = phys.subnet(lspec, &[6, 7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn subnet_rejects_duplicate_rank() {
+        let mut net = FlowNet::new();
+        let phys = ClusterNet::build(&ClusterSpec::tcp_v100(16), &mut net);
+        let mut lspec = ClusterSpec::tcp_v100(16);
+        lspec.nodes = 1;
+        lspec.node.gpus_per_node = 2;
+        let _ = phys.subnet(lspec, &[3, 3]);
     }
 }

@@ -396,21 +396,29 @@ fn tree_phases(cluster: &ClusterNet, bytes: f64) -> VecDeque<Vec<FlowSpec>> {
     let nodes = cspec.nodes;
     let mut phases = VecDeque::new();
 
-    // Phase 1: intra-node coarse rings.
+    // Phase 1: intra-node coarse rings. Ring size follows the node's actual
+    // population (a partial tail node runs a smaller ring; a 1-GPU node
+    // contributes nothing).
     if g > 1 {
-        let per_link = 2.0 * (g as f64 - 1.0) / g as f64 * bytes;
-        let latency = SimDuration::from_nanos(NVLINK_HOP.as_nanos() * 2 * (g as u64 - 1))
-            + TREE_PHASE_OVERHEAD;
         let mut flows = Vec::new();
         for n in 0..nodes {
-            for l in 0..g {
+            let gn = cspec.gpus_on_node(n);
+            if gn < 2 {
+                continue;
+            }
+            let per_link = 2.0 * (gn as f64 - 1.0) / gn as f64 * bytes;
+            let latency = SimDuration::from_nanos(NVLINK_HOP.as_nanos() * 2 * (gn as u64 - 1))
+                + TREE_PHASE_OVERHEAD;
+            for l in 0..gn {
                 let src = n * g + l;
-                let dst = n * g + (l + 1) % g;
+                let dst = n * g + (l + 1) % gn;
                 let p = cluster.path(src, dst);
                 flows.push(FlowSpec::new(p.resources, per_link).with_latency(latency));
             }
         }
-        phases.push_back(flows);
+        if !flows.is_empty() {
+            phases.push_back(flows);
+        }
     }
 
     // Phase 2: coarse ring among node leaders.
@@ -435,12 +443,14 @@ fn tree_phases(cluster: &ClusterNet, bytes: f64) -> VecDeque<Vec<FlowSpec>> {
     if g > 1 {
         let mut flows = Vec::new();
         for n in 0..nodes {
-            for l in 1..g {
+            for l in 1..cspec.gpus_on_node(n) {
                 let p = cluster.path(n * g, n * g + l);
                 flows.push(p.flow(bytes).with_latency(TREE_PHASE_OVERHEAD));
             }
         }
-        phases.push_back(flows);
+        if !flows.is_empty() {
+            phases.push_back(flows);
+        }
     }
 
     if phases.is_empty() {
@@ -488,6 +498,35 @@ mod tests {
         let mut sim = Simulator::new();
         let cluster = ClusterNet::build(&ClusterSpec::tcp_v100(gpus), sim.net_mut());
         (sim, cluster, CollectiveEngine::new())
+    }
+
+    #[test]
+    fn tree_handles_partial_tail_node() {
+        // 12 GPUs = one full 8-GPU node + a 4-GPU tail. The intra-node
+        // phases must follow each node's actual population instead of
+        // indexing ranks past the tail.
+        let (mut sim, cluster, mut eng) = setup(12);
+        assert_eq!(cluster.spec().tail_gpus, 4);
+        let op =
+            eng.launch(&mut sim, &cluster, CollectiveSpec::allreduce(1e8).with_algo(Algo::Tree));
+        let done = run_to_completion(&mut sim, &mut eng);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, op);
+        assert!(done[0].0 > 0.0);
+        assert_eq!(eng.active_ops(), 0);
+    }
+
+    #[test]
+    fn ring_handles_partial_tail_node() {
+        let (mut sim, cluster, mut eng) = setup(12);
+        eng.launch(
+            &mut sim,
+            &cluster,
+            CollectiveSpec::allreduce(4e7).with_mode(RingMode::Stepwise),
+        );
+        let done = run_to_completion(&mut sim, &mut eng);
+        assert_eq!(done.len(), 1);
+        assert_eq!(eng.active_ops(), 0);
     }
 
     #[test]

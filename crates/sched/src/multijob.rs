@@ -1,0 +1,581 @@
+//! The multi-job driver: every job's engine multiplexed over one shared
+//! `Simulator`/`FlowNet`.
+//!
+//! Each running job is a faithful copy of the single-job
+//! [`aiacc_trainer::TrainingSim`] iteration state machine — same compute
+//! schedule (via [`aiacc_trainer::schedule_worker_compute`]), same stream
+//! limits, same iteration-boundary drain semantics — but its collectives run
+//! on a [`aiacc_cluster::ClusterNet::subnet`] view of the shared physical
+//! fabric, so concurrent jobs' flows contend inside one max-min allocation.
+//! With a single job the event sequence degenerates to exactly the
+//! single-job path, which is what makes the N=1 bit-identity guarantee hold.
+//!
+//! Determinism argument for the shared event loop: the simulator delivers
+//! events in `(time, schedule-order)` order; every event is routed to its
+//! owning job either by the scope stamped into its token's high bits
+//! ([`aiacc_simnet::Simulator::set_token_scope`]) or by probing
+//! `CollectiveEngine::owns_flow` in ascending job order. No routing decision
+//! depends on wall-clock, hashing, or thread interleaving, so a scenario is
+//! a pure function of (cluster, workload, policy).
+
+use crate::placement::{try_place, PlacePolicy, Placement};
+use crate::workload::Workload;
+use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel, GpuFreeList, IterationTiming};
+use aiacc_collectives::CollectiveEngine;
+use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
+use aiacc_dnn::{zoo, DType, GradId, ModelProfile};
+use aiacc_simnet::trace::track;
+use aiacc_simnet::{Event, FaultPlan, FaultRecord, FlowId, SimTime, Simulator, Token};
+use aiacc_trainer::{
+    comm_stream_limits, schedule_worker_compute, ComputeAttempt, Framework, BWD_KIND, GRAD_KIND,
+};
+
+/// Unscoped timer kind announcing a job arrival (`a` = job id).
+const ARRIVAL_KIND: u32 = 10;
+/// Scoped timer kind marking a job's iteration boundary (`b` = iteration).
+const BOUNDARY_KIND: u32 = 11;
+
+/// Configuration of one multi-job scenario.
+#[derive(Debug, Clone)]
+pub struct MultiJobCfg {
+    /// The shared physical cluster.
+    pub cluster: ClusterSpec,
+    /// Gang placement policy.
+    pub policy: PlacePolicy,
+    /// The jobs to run.
+    pub workload: Workload,
+    /// Framework adapter applied to every job.
+    pub framework: Framework,
+    /// Compute jitter amplitude (fraction).
+    pub jitter_frac: f64,
+    /// Link-degradation fault plan on the *physical* cluster (node targets
+    /// resolve to that node's NIC). Crash faults are not supported here.
+    pub faults: FaultPlan,
+    /// Records a structured trace (one lane per job).
+    pub trace: bool,
+}
+
+impl MultiJobCfg {
+    /// A scenario with TrainingSim-matching defaults (PyTorch, 2 % jitter,
+    /// no faults, no trace).
+    pub fn new(cluster: ClusterSpec, policy: PlacePolicy, workload: Workload) -> Self {
+        MultiJobCfg {
+            cluster,
+            policy,
+            workload,
+            framework: Framework::PyTorch,
+            jitter_frac: 0.02,
+            faults: FaultPlan::new(),
+            trace: false,
+        }
+    }
+
+    /// Installs a link-fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables structured tracing.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// What happened to one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: usize,
+    /// Model name.
+    pub model: String,
+    /// Gang size in GPUs.
+    pub gpus: usize,
+    /// Engine label.
+    pub engine: String,
+    /// Arrival time, seconds.
+    pub arrival_secs: f64,
+    /// When the gang was placed and the first iteration began, seconds.
+    pub start_secs: f64,
+    /// When the last iteration's boundary passed, seconds.
+    pub finish_secs: f64,
+    /// Physical nodes the gang occupied.
+    pub nodes_used: usize,
+    /// Per-iteration durations, seconds.
+    pub iter_secs: Vec<f64>,
+    /// Bytes this job's flows actually moved on the fabric.
+    pub comm_bytes_delivered: f64,
+    /// Bytes this job's flows were launched to move.
+    pub comm_bytes_launched: f64,
+}
+
+impl JobOutcome {
+    /// Job completion time: finish − arrival.
+    pub fn jct_secs(&self) -> f64 {
+        self.finish_secs - self.arrival_secs
+    }
+
+    /// Time spent waiting in the queue: start − arrival (clamped at zero —
+    /// the simulator snaps arrival timestamps to its nanosecond grid, which
+    /// can land a hair before the requested float instant).
+    pub fn queue_delay_secs(&self) -> f64 {
+        (self.start_secs - self.arrival_secs).max(0.0)
+    }
+
+    /// Mean iteration duration, seconds.
+    pub fn mean_iter_secs(&self) -> f64 {
+        self.iter_secs.iter().sum::<f64>() / self.iter_secs.len() as f64
+    }
+}
+
+/// Result of one multi-job scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiJobReport {
+    /// The placement policy that ran.
+    pub policy: PlacePolicy,
+    /// Per-job outcomes, by job id.
+    pub jobs: Vec<JobOutcome>,
+    /// Last finish minus first arrival, seconds.
+    pub makespan_secs: f64,
+    /// Mean NIC transmit utilization over the makespan across all nodes.
+    pub fabric_utilization: f64,
+}
+
+/// One running job's iteration state (the fields `TrainingSim` keeps between
+/// events, per job).
+struct RunningJob {
+    placement: Placement,
+    cluster: ClusterNet,
+    coll: CollectiveEngine,
+    engine: Box<dyn DdlEngine>,
+    timing: IterationTiming,
+    streams_busy: usize,
+    streams_idle: usize,
+    iter: u64,
+    busy_workers: usize,
+    last_bwd: SimTime,
+    draining: bool,
+    iter_start: SimTime,
+    started_at: SimTime,
+    iter_secs: Vec<f64>,
+}
+
+enum JobState {
+    /// Not yet arrived, or arrived and waiting in the queue.
+    Pending,
+    Running(Box<RunningJob>),
+    Done,
+}
+
+struct JobRun {
+    model: ModelProfile,
+    state: JobState,
+    outcome: Option<JobOutcome>,
+}
+
+/// The multi-job scheduler/simulator.
+pub struct MultiJobSim {
+    cfg: MultiJobCfg,
+    sim: Simulator,
+    physical: ClusterNet,
+    free: GpuFreeList,
+    faults: FaultPlan,
+    jobs: Vec<JobRun>,
+    /// FIFO queue of arrived-but-unplaced job ids.
+    queue: Vec<usize>,
+}
+
+impl MultiJobSim {
+    /// Builds the scenario: physical resources, fault plan, arrival timers.
+    ///
+    /// # Panics
+    /// Panics if the workload is empty, a job requests more GPUs than the
+    /// cluster has, a model name is unknown, or the fault plan contains
+    /// crash faults (not supported in multi-job runs).
+    pub fn new(cfg: MultiJobCfg) -> Self {
+        assert!(!cfg.workload.jobs.is_empty(), "empty workload");
+        let mut sim = Simulator::new();
+        if cfg.trace {
+            sim.enable_tracing();
+        }
+        let physical = ClusterNet::build(&cfg.cluster, sim.net_mut());
+        let free = GpuFreeList::new(&cfg.cluster);
+        let nodes = cfg.cluster.nodes;
+        let faults = cfg.faults.resolve_links(|n| {
+            assert!((n as usize) < nodes, "fault targets node {n}, cluster has {nodes}");
+            vec![physical.node_tx_resource(n as usize), physical.node_rx_resource(n as usize)]
+        });
+        assert!(
+            faults.crash_times().is_empty(),
+            "crash faults are not supported in multi-job runs (use link faults)"
+        );
+        sim.install_faults(&faults);
+        let total = cfg.cluster.world_size();
+        let mut jobs = Vec::with_capacity(cfg.workload.jobs.len());
+        for (i, j) in cfg.workload.jobs.iter().enumerate() {
+            assert_eq!(j.id, i, "workload job ids must be dense and ordered");
+            assert!(j.gpus > 0 && j.gpus <= total, "job {i} requests {} of {total} GPUs", j.gpus);
+            assert!(j.iterations > 0, "job {i} has no iterations");
+            let model = zoo::by_name(&j.model)
+                .unwrap_or_else(|| panic!("job {i}: unknown model {:?}", j.model));
+            sim.schedule_at(
+                SimTime::from_secs_f64(j.arrival_secs),
+                Token::new(ARRIVAL_KIND, i as u32, 0),
+            );
+            jobs.push(JobRun { model, state: JobState::Pending, outcome: None });
+        }
+        MultiJobSim { cfg, sim, physical, free, faults, jobs, queue: Vec::new() }
+    }
+
+    /// The scope stamped on job `id`'s tokens and flows (`id + 1`; scope 0
+    /// stays reserved for scheduler-level events).
+    fn scope(id: usize) -> u32 {
+        id as u32 + 1
+    }
+
+    fn all_done(&self) -> bool {
+        self.jobs.iter().all(|j| matches!(j.state, JobState::Done))
+    }
+
+    /// Tries to place job `id` right now; on success starts its first
+    /// iteration.
+    fn try_start(&mut self, id: usize) -> bool {
+        let spec = &self.cfg.workload.jobs[id];
+        let Some(placement) = try_place(self.cfg.policy, spec.gpus, &self.free) else {
+            return false;
+        };
+        placement.commit(&mut self.free);
+        let model = self.jobs[id].model.clone();
+        let engine = spec.engine.build(&model, placement.spec.world_size());
+        let compute = ComputeModel::new(placement.spec.node.gpu.clone());
+        let batch = model.default_batch_per_gpu();
+        let timing = compute.iteration_timing(&model, batch, DType::F32);
+        let (streams_busy, streams_idle) = comm_stream_limits(&compute, &placement.spec, &model);
+        let cluster = self.physical.subnet(placement.spec.clone(), &placement.ranks);
+        let now = self.sim.now();
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} start");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
+        }
+        self.jobs[id].state = JobState::Running(Box::new(RunningJob {
+            placement,
+            cluster,
+            coll: CollectiveEngine::new(),
+            engine,
+            timing,
+            streams_busy,
+            streams_idle,
+            iter: 0,
+            busy_workers: 0,
+            last_bwd: now,
+            draining: false,
+            iter_start: now,
+            started_at: now,
+            iter_secs: Vec::new(),
+        }));
+        self.begin_iteration(id);
+        true
+    }
+
+    /// Mirrors the top of `TrainingSim::run_iteration_detailed`: engine
+    /// reset, then the per-worker compute schedule — all under the job's
+    /// token scope so every timer and flow is stamped with its owner.
+    fn begin_iteration(&mut self, id: usize) {
+        let spec = &self.cfg.workload.jobs[id];
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { unreachable!("job not running") };
+        let now = self.sim.now();
+        let world = r.placement.spec.world_size();
+        self.sim.set_token_scope(Self::scope(id));
+        {
+            let mut cx = DdlCtx {
+                sim: &mut self.sim,
+                coll: &mut r.coll,
+                cluster: &r.cluster,
+                max_streams_now: r.streams_busy,
+            };
+            r.engine.begin_iteration(&mut cx, r.iter);
+        }
+        let attempt = ComputeAttempt {
+            world,
+            seed: spec.seed,
+            jitter_frac: self.cfg.jitter_frac,
+            framework: self.cfg.framework,
+            timing: &r.timing,
+            iter: r.iter,
+        };
+        let phys_spec = &self.cfg.cluster;
+        let faults = &self.faults;
+        let ranks = &r.placement.ranks;
+        let last_bwd = schedule_worker_compute(&mut self.sim, &attempt, |w| {
+            faults.compute_factor(phys_spec.node_of(ranks[w]) as u32, now)
+        });
+        self.sim.set_token_scope(0);
+        r.busy_workers = world;
+        r.last_bwd = last_bwd;
+        r.draining = false;
+        r.iter_start = now;
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} iter {}", r.iter);
+            self.sim.trace_span_begin(track::TRAINER, id as u64, &name, "iteration");
+        }
+    }
+
+    /// Mirrors `TrainingSim`'s post-event check: once every worker finished
+    /// backward and the engine reports communication done, the iteration
+    /// ends at `max(comm_done, last_bwd) + update` and the job drains until
+    /// that boundary.
+    fn check_comm_done(&mut self, id: usize, t: SimTime) {
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { return };
+        if r.draining || r.busy_workers > 0 || !r.engine.comm_done() {
+            return;
+        }
+        let end = t.max(r.last_bwd) + r.timing.update;
+        r.draining = true;
+        self.sim.set_token_scope(Self::scope(id));
+        self.sim.schedule_at(end, Token::new(BOUNDARY_KIND, id as u32, r.iter));
+        self.sim.set_token_scope(0);
+    }
+
+    /// Handles a job's iteration boundary: record the duration, then either
+    /// start the next iteration or complete the job and re-dispatch the
+    /// queue.
+    fn on_boundary(&mut self, id: usize, t: SimTime) {
+        let iterations = self.cfg.workload.jobs[id].iterations;
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { return };
+        r.iter_secs.push((t - r.iter_start).as_secs_f64());
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} iter {}", r.iter);
+            self.sim.trace_span_end(track::TRAINER, id as u64, &name, "iteration");
+        }
+        r.iter += 1;
+        if (r.iter as usize) < iterations {
+            self.begin_iteration(id);
+            return;
+        }
+        // Job complete: tear down lingering flows so the fabric is clean for
+        // the tenants that remain, free the gang, record the outcome.
+        r.coll.cancel_all(&mut self.sim);
+        r.placement.release(&mut self.free);
+        let spec = &self.cfg.workload.jobs[id];
+        let tag = Self::scope(id);
+        job.outcome = Some(JobOutcome {
+            id,
+            model: spec.model.clone(),
+            gpus: spec.gpus,
+            engine: spec.engine.label().to_string(),
+            arrival_secs: spec.arrival_secs,
+            start_secs: r.started_at.as_secs_f64(),
+            finish_secs: t.as_secs_f64(),
+            nodes_used: r.placement.node_count(),
+            iter_secs: std::mem::take(&mut r.iter_secs),
+            comm_bytes_delivered: self.sim.net().delivered_bytes_by_tag(tag),
+            comm_bytes_launched: self.sim.net().launched_bytes_by_tag(tag),
+        });
+        job.state = JobState::Done;
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} done");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
+        }
+        self.dispatch_queue();
+    }
+
+    /// FIFO dispatch with backfill: jobs are tried in arrival order, and a
+    /// blocked head does not starve smaller jobs behind it.
+    fn dispatch_queue(&mut self) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let id = self.queue[i];
+            if self.try_start(id) {
+                self.queue.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Routes a scoped timer to its job, honoring the drain window exactly
+    /// like `TrainingSim::drain_to` (stale events are dropped).
+    fn on_job_timer(&mut self, id: usize, tok: Token, t: SimTime) {
+        if tok.base_kind() == BOUNDARY_KIND {
+            self.on_boundary(id, t);
+            return;
+        }
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { return };
+        if r.draining {
+            return;
+        }
+        self.sim.set_token_scope(Self::scope(id));
+        match tok.base_kind() {
+            GRAD_KIND => {
+                let mut cx = DdlCtx {
+                    sim: &mut self.sim,
+                    coll: &mut r.coll,
+                    cluster: &r.cluster,
+                    max_streams_now: if r.busy_workers > 0 {
+                        r.streams_busy
+                    } else {
+                        r.streams_idle
+                    },
+                };
+                r.engine.on_grad_ready(&mut cx, tok.a as usize, GradId(tok.b as u32));
+            }
+            BWD_KIND => {
+                r.busy_workers -= 1;
+                let mut cx = DdlCtx {
+                    sim: &mut self.sim,
+                    coll: &mut r.coll,
+                    cluster: &r.cluster,
+                    max_streams_now: if r.busy_workers > 0 {
+                        r.streams_busy
+                    } else {
+                        r.streams_idle
+                    },
+                };
+                r.engine.on_backward_done(&mut cx, tok.a as usize);
+            }
+            ENGINE_TIMER_KIND => {
+                let mut cx = DdlCtx {
+                    sim: &mut self.sim,
+                    coll: &mut r.coll,
+                    cluster: &r.cluster,
+                    max_streams_now: if r.busy_workers > 0 {
+                        r.streams_busy
+                    } else {
+                        r.streams_idle
+                    },
+                };
+                r.engine.on_timer(&mut cx, tok.a, tok.b);
+            }
+            _ => {}
+        }
+        self.sim.set_token_scope(0);
+        self.check_comm_done(id, t);
+    }
+
+    /// Routes a flow completion to the (unique) job whose collective engine
+    /// owns it. Completions inside a drain window are dropped, as in the
+    /// single-job path.
+    fn on_flow(&mut self, f: FlowId, t: SimTime) {
+        let mut owner = None;
+        for (id, job) in self.jobs.iter().enumerate() {
+            if let JobState::Running(r) = &job.state {
+                if r.coll.owns_flow(f) {
+                    assert!(owner.is_none(), "flow {f} owned by jobs {owner:?} and {id}");
+                    owner = Some(id);
+                }
+            }
+        }
+        let Some(id) = owner else { return };
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { unreachable!() };
+        if r.draining {
+            return;
+        }
+        self.sim.set_token_scope(Self::scope(id));
+        if let Some(op) = r.coll.on_flow_completed(&mut self.sim, f) {
+            let mut cx = DdlCtx {
+                sim: &mut self.sim,
+                coll: &mut r.coll,
+                cluster: &r.cluster,
+                max_streams_now: if r.busy_workers > 0 { r.streams_busy } else { r.streams_idle },
+            };
+            r.engine.on_collective_done(&mut cx, op);
+        }
+        self.sim.set_token_scope(0);
+        self.check_comm_done(id, t);
+    }
+
+    /// Broadcasts a fault record to every running job (link capacities have
+    /// already changed inside the shared net).
+    fn on_fault(&mut self, rec: &FaultRecord, t: SimTime) {
+        for id in 0..self.jobs.len() {
+            let job = &mut self.jobs[id];
+            let JobState::Running(r) = &mut job.state else { continue };
+            self.sim.set_token_scope(Self::scope(id));
+            let mut cx = DdlCtx {
+                sim: &mut self.sim,
+                coll: &mut r.coll,
+                cluster: &r.cluster,
+                max_streams_now: if r.busy_workers > 0 { r.streams_busy } else { r.streams_idle },
+            };
+            r.engine.on_fault(&mut cx, rec);
+            self.sim.set_token_scope(0);
+            self.check_comm_done(id, t);
+        }
+    }
+
+    /// Drives the shared event loop until every job is done.
+    ///
+    /// # Panics
+    /// Panics if the event queue drains while jobs are still pending — a
+    /// scheduler bug, since a finished job always re-dispatches the queue.
+    fn run_loop(&mut self) {
+        while !self.all_done() {
+            let Some((t, ev)) = self.sim.next_event() else {
+                panic!("event queue drained with jobs unfinished (queue: {:?})", self.queue);
+            };
+            match ev {
+                Event::Timer(tok) if tok.scope() == 0 && tok.kind == ARRIVAL_KIND => {
+                    let id = tok.a as usize;
+                    if !self.try_start(id) {
+                        self.queue.push(id);
+                    }
+                }
+                Event::Timer(tok) if tok.scope() > 0 => {
+                    self.on_job_timer(tok.scope() as usize - 1, tok, t);
+                }
+                Event::Timer(_) => {}
+                Event::FlowCompleted(f) => self.on_flow(f, t),
+                Event::Fault(rec) => self.on_fault(&rec, t),
+            }
+        }
+    }
+
+    /// Runs the scenario to completion and reports per-job and cluster
+    /// metrics.
+    pub fn run(mut self) -> MultiJobReport {
+        self.run_loop();
+        self.into_report()
+    }
+
+    /// Runs the scenario, returning the report together with the Chrome
+    /// trace JSON (empty unless the config enabled tracing).
+    pub fn run_with_trace(mut self) -> (MultiJobReport, String) {
+        self.run_loop();
+        let json = self.sim.trace().to_chrome_json();
+        (self.into_report(), json)
+    }
+
+    fn into_report(mut self) -> MultiJobReport {
+        let jobs: Vec<JobOutcome> =
+            self.jobs.iter_mut().map(|j| j.outcome.take().expect("job finished")).collect();
+        let first_arrival = jobs.iter().map(|j| j.arrival_secs).fold(f64::INFINITY, f64::min);
+        let last_finish = jobs.iter().map(|j| j.finish_secs).fold(0.0, f64::max);
+        let makespan = last_finish - first_arrival;
+        let nic_rate = self.cfg.cluster.node.nic.bytes_per_sec();
+        let carried: f64 = (0..self.cfg.cluster.nodes)
+            .map(|n| self.sim.net().carried_bytes(self.physical.node_tx_resource(n)))
+            .sum();
+        let fabric_utilization = if makespan > 0.0 {
+            carried / (nic_rate * self.cfg.cluster.nodes as f64 * makespan)
+        } else {
+            0.0
+        };
+        MultiJobReport {
+            policy: self.cfg.policy,
+            jobs,
+            makespan_secs: makespan,
+            fabric_utilization,
+        }
+    }
+}
+
+/// One-shot convenience: build and run a multi-job scenario.
+pub fn run_multijob(cfg: MultiJobCfg) -> MultiJobReport {
+    MultiJobSim::new(cfg).run()
+}

@@ -57,6 +57,12 @@ pub struct FlowSpec {
     pub rate_cap: Option<f64>,
     /// Startup latency before the first byte moves.
     pub latency: SimDuration,
+    /// Telemetry tag (`0` = untagged). The multi-job scheduler stamps each
+    /// flow with its owning job's scope so per-job delivered bytes can be
+    /// audited on a shared fabric — see
+    /// [`crate::FlowNet::delivered_bytes_by_tag`]. Tags never influence rate
+    /// allocation or event ordering.
+    pub tag: u32,
 }
 
 impl FlowSpec {
@@ -66,7 +72,13 @@ impl FlowSpec {
     /// Panics if `bytes` is negative or not finite.
     pub fn new(path: Vec<ResourceId>, bytes: f64) -> Self {
         assert!(bytes.is_finite() && bytes >= 0.0, "invalid flow size: {bytes}");
-        FlowSpec { path, bytes, rate_cap: None, latency: SimDuration::ZERO }
+        FlowSpec { path, bytes, rate_cap: None, latency: SimDuration::ZERO, tag: 0 }
+    }
+
+    /// Tags the flow for per-tag byte accounting (`0` = untagged).
+    pub fn with_tag(mut self, tag: u32) -> Self {
+        self.tag = tag;
+        self
     }
 
     /// Limits the flow to at most `cap` bytes/second.

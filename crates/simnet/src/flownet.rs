@@ -149,6 +149,10 @@ pub struct FlowNet {
     rates_valid: bool,
     /// Cumulative bytes carried per resource (telemetry).
     carried: Vec<f64>,
+    /// Cumulative bytes delivered per flow tag (index = tag; telemetry).
+    delivered_by_tag: Vec<f64>,
+    /// Cumulative bytes offered per flow tag (stamped at flow start).
+    launched_by_tag: Vec<f64>,
     /// Persistent solver working set (see [`Scratch`]).
     scratch: Scratch,
 }
@@ -212,6 +216,29 @@ impl FlowNet {
         self.carried[id.as_u32() as usize]
     }
 
+    /// Cumulative bytes *delivered* (moved to completion) by flows carrying
+    /// `tag` ([`FlowSpec::with_tag`]). The multi-job scheduler tags every
+    /// flow with its owning job, so on a shared fabric each tenant's traffic
+    /// stays individually auditable: for a run in which every tagged flow
+    /// completes, `delivered == launched` per tag (byte conservation).
+    pub fn delivered_bytes_by_tag(&self, tag: u32) -> f64 {
+        self.delivered_by_tag.get(tag as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative bytes offered by flows started with `tag` (counted at flow
+    /// start, whether or not they later complete).
+    pub fn launched_bytes_by_tag(&self, tag: u32) -> f64 {
+        self.launched_by_tag.get(tag as usize).copied().unwrap_or(0.0)
+    }
+
+    fn bump_tag(v: &mut Vec<f64>, tag: u32, bytes: f64) {
+        let i = tag as usize;
+        if v.len() <= i {
+            v.resize(i + 1, 0.0);
+        }
+        v[i] += bytes;
+    }
+
     /// Read-only view of a resource.
     ///
     /// # Panics
@@ -252,6 +279,7 @@ impl FlowNet {
         let activates_at = self.now + spec.latency;
         let active = spec.latency.as_nanos() == 0;
         let remaining = spec.bytes;
+        Self::bump_tag(&mut self.launched_by_tag, spec.tag, spec.bytes);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.slots[slot as usize].state =
@@ -354,17 +382,20 @@ impl FlowNet {
         let dt = (t - self.now).as_secs_f64();
         if dt > 0.0 {
             let carried = &mut self.carried;
+            let delivered = &mut self.delivered_by_tag;
             for st in self.slots.iter_mut().filter_map(|s| s.state.as_mut()) {
                 if st.active {
-                    if st.rate.is_infinite() {
-                        st.remaining = 0.0;
+                    let moved = if st.rate.is_infinite() {
+                        std::mem::replace(&mut st.remaining, 0.0)
                     } else {
                         let moved = (st.rate * dt).min(st.remaining);
                         st.remaining -= moved;
                         for r in &st.spec.path {
                             carried[r.as_u32() as usize] += moved;
                         }
-                    }
+                        moved
+                    };
+                    Self::bump_tag(delivered, st.spec.tag, moved);
                 }
             }
         }
@@ -403,7 +434,12 @@ impl FlowNet {
             .collect();
         if !done.is_empty() {
             for &(_, slot) in &done {
-                self.vacate(slot);
+                let st = self.vacate(slot);
+                // Credit the sub-epsilon residual (and the full payload of
+                // infinite-rate flows that completed without time advancing)
+                // so per-tag delivered bytes equal launched bytes exactly
+                // for every completed flow.
+                Self::bump_tag(&mut self.delivered_by_tag, st.spec.tag, st.remaining);
             }
             self.rates_valid = false;
         }

@@ -62,7 +62,7 @@ pub mod trace;
 pub use faults::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultRecord, FaultTarget};
 pub use flow::{Flow, FlowId, FlowSpec};
 pub use flownet::{FlowNet, Resource, ResourceId};
-pub use sim::{Event, Simulator, Token};
+pub use sim::{Event, Simulator, Token, TOKEN_KIND_MASK, TOKEN_SCOPE_SHIFT};
 pub use telemetry::{AnnotatedSample, UtilizationProbe};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TracePhase, TraceSink, TraceSummary};

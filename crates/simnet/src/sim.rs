@@ -40,7 +40,23 @@ impl Token {
     pub const fn new(kind: u32, a: u32, b: u64) -> Self {
         Token { kind, a, b }
     }
+
+    /// The scope stamped into this token's high kind bits by
+    /// [`Simulator::set_token_scope`] (`0` = unscoped).
+    pub const fn scope(self) -> u32 {
+        self.kind >> TOKEN_SCOPE_SHIFT
+    }
+
+    /// The token kind with any scope stamp removed.
+    pub const fn base_kind(self) -> u32 {
+        self.kind & TOKEN_KIND_MASK
+    }
 }
+
+/// Bit position of the scope stamp inside [`Token::kind`].
+pub const TOKEN_SCOPE_SHIFT: u32 = 16;
+/// Mask selecting the scope-free base kind.
+pub const TOKEN_KIND_MASK: u32 = (1 << TOKEN_SCOPE_SHIFT) - 1;
 
 /// An event yielded by [`Simulator::next_event`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +106,9 @@ pub struct Simulator {
     fault_log: Vec<(SimTime, FaultRecord)>,
     /// Structured trace recorder (disabled — and free — by default).
     trace: TraceSink,
+    /// Current token/flow scope (0 = unscoped). See
+    /// [`Simulator::set_token_scope`].
+    token_scope: u32,
 }
 
 impl Simulator {
@@ -120,16 +139,54 @@ impl Simulator {
 
     /// Schedules `token` at an absolute instant.
     ///
+    /// While a token scope is armed ([`Self::set_token_scope`]) the scope is
+    /// stamped into the token's high kind bits, so multiplexing drivers can
+    /// route the timer back to the tenant that scheduled it.
+    ///
     /// # Panics
-    /// Panics if `at` is in the past.
-    pub fn schedule_at(&mut self, at: SimTime, token: Token) {
+    /// Panics if `at` is in the past, or if a scope is armed and the token's
+    /// kind does not fit below [`TOKEN_SCOPE_SHIFT`].
+    pub fn schedule_at(&mut self, at: SimTime, mut token: Token) {
         assert!(at >= self.now(), "scheduling in the past: {at} < {}", self.now());
+        if self.token_scope != 0 {
+            assert!(
+                token.kind <= TOKEN_KIND_MASK,
+                "token kind {} collides with the armed scope stamp",
+                token.kind
+            );
+            token.kind |= self.token_scope << TOKEN_SCOPE_SHIFT;
+        }
         self.seq += 1;
         self.timers.push(Reverse(TimerEntry { at, seq: self.seq, token }));
     }
 
-    /// Starts a network flow at the current time.
-    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+    /// Arms (or with `0` clears) the *token scope*: every timer scheduled and
+    /// every flow started while the scope is armed is stamped with it —
+    /// timers in the high bits of [`Token::kind`], flows as their telemetry
+    /// tag. This is how the multi-job scheduler multiplexes several tenants'
+    /// engines over one shared event loop without threading a job id through
+    /// every engine signature; with the scope at its default `0`, behavior is
+    /// bit-identical to an unscoped simulator.
+    ///
+    /// # Panics
+    /// Panics if `scope` does not fit above [`TOKEN_SCOPE_SHIFT`].
+    pub fn set_token_scope(&mut self, scope: u32) {
+        assert!(scope <= TOKEN_KIND_MASK, "scope {scope} out of range");
+        self.token_scope = scope;
+    }
+
+    /// The currently armed token scope (`0` = unscoped).
+    pub fn token_scope(&self) -> u32 {
+        self.token_scope
+    }
+
+    /// Starts a network flow at the current time. While a token scope is
+    /// armed ([`Self::set_token_scope`]), untagged specs inherit the scope as
+    /// their telemetry tag.
+    pub fn start_flow(&mut self, mut spec: FlowSpec) -> FlowId {
+        if self.token_scope != 0 && spec.tag == 0 {
+            spec.tag = self.token_scope;
+        }
         let id = self.net.start_flow(spec);
         if self.trace.is_enabled() {
             let (t, n) = (self.now(), self.net.flow_count() as f64);

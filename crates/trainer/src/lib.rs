@@ -27,7 +27,7 @@ mod dataparallel;
 pub mod dawnbench;
 mod engines;
 pub mod hybrid;
-mod metrics;
+pub mod metrics;
 pub mod pipeline;
 pub mod recovery;
 mod sim;
@@ -37,4 +37,7 @@ pub mod tune;
 pub use dataparallel::{Checkpoint, DataParallelConfig, DataParallelTrainer, TrainStats};
 pub use engines::{EngineKind, Framework};
 pub use metrics::{scaling_efficiency, speedup, ThroughputReport};
-pub use sim::{run_training_sim, IterationBreakdown, TrainingSim, TrainingSimConfig};
+pub use sim::{
+    comm_stream_limits, run_training_sim, schedule_worker_compute, ComputeAttempt,
+    IterationBreakdown, TrainingSim, TrainingSimConfig, BWD_KIND, GRAD_KIND,
+};

@@ -68,6 +68,53 @@ impl fmt::Display for ThroughputReport {
     }
 }
 
+/// Nearest-rank percentile of `values` (`p` in `[0, 100]`), NaN-safe.
+///
+/// Uses the classic nearest-rank definition: the smallest value such that at
+/// least `p` % of the data is at or below it (`ceil(p/100 · n)`-th smallest,
+/// 1-indexed; `p = 0` returns the minimum). NaNs are dropped before ranking,
+/// so one poisoned sample cannot poison a tail statistic. Returns `None` for
+/// an empty (or all-NaN) input — the scheduler's JCT reporting treats "no
+/// finished jobs" explicitly instead of fabricating a number.
+///
+/// # Example
+/// ```
+/// use aiacc_trainer::metrics::percentile;
+/// let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+/// assert_eq!(percentile(&v, 50.0), Some(3.0));
+/// assert_eq!(percentile(&v, 99.0), Some(5.0));
+/// ```
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    let n = v.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    Some(v[rank - 1])
+}
+
+/// Median via [`percentile`] (nearest-rank, NaN-safe).
+pub fn p50(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// 95th percentile via [`percentile`].
+pub fn p95(values: &[f64]) -> Option<f64> {
+    percentile(values, 95.0)
+}
+
+/// 99th percentile via [`percentile`] — the tail statistic the multi-job
+/// scheduler reports for job completion times.
+pub fn p99(values: &[f64]) -> Option<f64> {
+    percentile(values, 99.0)
+}
+
 /// Checks that two reports measure the same workload — comparing a
 /// ResNet-50 run against a BERT run (or different per-GPU batches) returns
 /// a meaningless ratio, so the derived metrics refuse it loudly instead of
@@ -118,6 +165,46 @@ mod tests {
 
     fn report(world: usize, iter: f64) -> ThroughputReport {
         ThroughputReport::new("e".into(), "m".into(), world, 10, SampleUnit::Images, vec![iter; 3])
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+        assert_eq!(percentile(&v, 95.0), Some(10.0));
+        assert_eq!(percentile(&v, 99.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(10.0));
+        // Order of the input never matters.
+        let shuffled = [9.0, 1.0, 10.0, 3.0, 5.0, 7.0, 2.0, 8.0, 6.0, 4.0];
+        assert_eq!(percentile(&shuffled, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_single_and_empty() {
+        assert_eq!(percentile(&[42.0], 99.0), Some(42.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_drops_nans() {
+        let v = [f64::NAN, 2.0, 1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&[f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_shorthands_agree() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(p50(&v), Some(50.0));
+        assert_eq!(p95(&v), Some(95.0));
+        assert_eq!(p99(&v), Some(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
     }
 
     #[test]

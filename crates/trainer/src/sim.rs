@@ -3,7 +3,7 @@
 use crate::engines::{EngineKind, Framework};
 use crate::metrics::ThroughputReport;
 use crate::recovery::{replay_failure_recovery, RecoveryConfig};
-use aiacc_cluster::{jitter_factor, ClusterNet, ClusterSpec, ComputeModel};
+use aiacc_cluster::{jitter_factor, ClusterNet, ClusterSpec, ComputeModel, IterationTiming};
 use aiacc_collectives::CollectiveEngine;
 use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
 use aiacc_dnn::{DType, GradId, ModelProfile};
@@ -11,10 +11,79 @@ use aiacc_simnet::trace::track;
 use aiacc_simnet::{Event, FaultPlan, SimDuration, SimTime, Simulator, Token, TraceSink};
 use serde::{Deserialize, Serialize};
 
-const GRAD_KIND: u32 = 1;
-const BWD_KIND: u32 = 2;
+/// Timer kind announcing one worker's gradient became ready (`a` = worker,
+/// `b` = gradient id). Public so the multi-job scheduler can route the same
+/// tokens through its shared event loop.
+pub const GRAD_KIND: u32 = 1;
+/// Timer kind announcing one worker finished backward (`a` = worker).
+pub const BWD_KIND: u32 = 2;
 /// Timer kind for a scheduled node crash from the fault plan.
 const FAULT_CRASH_KIND: u32 = 3;
+
+/// Compute-side inputs of one iteration attempt, shared between
+/// [`TrainingSim`] and the multi-job scheduler (`aiacc-sched`) so that an
+/// N=1 scheduled job reproduces the single-job path bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct ComputeAttempt<'a> {
+    /// Number of workers.
+    pub world: usize,
+    /// Jitter seed.
+    pub seed: u64,
+    /// Jitter amplitude (fraction).
+    pub jitter_frac: f64,
+    /// Framework adapter (scales compute and adds per-iteration overhead).
+    pub framework: Framework,
+    /// Forward/backward/update durations and per-gradient ready offsets.
+    pub timing: &'a IterationTiming,
+    /// Iteration number (feeds the jitter hash).
+    pub iter: u64,
+}
+
+/// Schedules one attempt's per-worker compute timers into `sim` — a
+/// [`GRAD_KIND`] timer per gradient and a [`BWD_KIND`] timer per worker —
+/// and returns the time the slowest worker finishes backward.
+/// `compute_scale(w)` is worker `w`'s straggler × fault slow-down at the
+/// attempt's start (`1.0` for a healthy worker).
+pub fn schedule_worker_compute(
+    sim: &mut Simulator,
+    attempt: &ComputeAttempt<'_>,
+    compute_scale: impl Fn(usize) -> f64,
+) -> SimTime {
+    let t_start = sim.now();
+    let fw = attempt.framework;
+    let timing = attempt.timing;
+    let mut last_bwd = t_start;
+    for w in 0..attempt.world {
+        let jf = jitter_factor(attempt.seed, w, attempt.iter, attempt.jitter_frac)
+            * fw.compute_factor()
+            * compute_scale(w);
+        let fwd = timing.forward.mul_f64(jf) + fw.per_iter_overhead();
+        for &(g, off) in &timing.grad_ready {
+            sim.schedule(fwd + off.mul_f64(jf), Token::new(GRAD_KIND, w as u32, g.0 as u64));
+        }
+        let bwd_at = fwd + timing.backward.mul_f64(jf);
+        sim.schedule(bwd_at, Token::new(BWD_KIND, w as u32, 0));
+        last_bwd = last_bwd.max(t_start + bwd_at);
+    }
+    last_bwd
+}
+
+/// The communication stream limits `(while_compute_busy, while_idle)` for a
+/// cluster/model pair. On RDMA with GPU-direct the NIC DMAs straight out of
+/// GPU memory (§V-A2), so streams barely contend with compute SMs; on TCP
+/// every stream needs copy kernels and staging, so compute occupancy caps
+/// concurrency (§VIII-A).
+pub fn comm_stream_limits(
+    compute: &ComputeModel,
+    cluster: &ClusterSpec,
+    model: &ModelProfile,
+) -> (usize, usize) {
+    let busy = match cluster.node.nic.kind {
+        aiacc_cluster::NetKind::Rdma => compute.max_comm_streams_idle(),
+        aiacc_cluster::NetKind::Tcp => compute.max_comm_streams_during_compute(model),
+    };
+    (busy, compute.max_comm_streams_idle())
+}
 
 /// Configuration of one simulated training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -326,17 +395,8 @@ impl TrainingSim {
         let fw = self.cfg.framework;
         let timing = self.compute.iteration_timing(&self.cfg.model, batch, DType::F32);
 
-        // On RDMA with GPU-direct, the NIC DMAs straight out of GPU memory
-        // (§V-A2: "the bucket will be allocated in the GPU memory for
-        // GPU-directed RDMA"), so communication streams barely contend with
-        // compute SMs. On TCP every stream needs copy kernels and staging.
-        let streams_busy = match self.cfg.cluster.node.nic.kind {
-            aiacc_cluster::NetKind::Rdma => self.compute.max_comm_streams_idle(),
-            aiacc_cluster::NetKind::Tcp => {
-                self.compute.max_comm_streams_during_compute(&self.cfg.model)
-            }
-        };
-        let streams_idle = self.compute.max_comm_streams_idle();
+        let (streams_busy, streams_idle) =
+            comm_stream_limits(&self.compute, &self.cfg.cluster, &self.cfg.model);
 
         let mut fault_events = 0u32;
         let mut crashes = 0u32;
@@ -363,30 +423,23 @@ impl TrainingSim {
             // readiness, backward completion — all scaled by the framework
             // factor, the worker/iteration jitter, and any straggler fault
             // window active at the attempt's start.
-            let mut last_bwd = t_start;
-            for w in 0..world {
-                let straggle: f64 = self
-                    .cfg
+            let attempt = ComputeAttempt {
+                world,
+                seed: self.cfg.seed,
+                jitter_frac: self.cfg.jitter_frac,
+                framework: fw,
+                timing: &timing,
+                iter: self.iter,
+            };
+            let last_bwd = schedule_worker_compute(&mut self.sim, &attempt, |w| {
+                self.cfg
                     .stragglers
                     .iter()
                     .filter(|&&(sw, _)| sw == w)
                     .map(|&(_, f)| f)
                     .product::<f64>()
-                    * self.faults.compute_factor(self.cfg.cluster.node_of(w) as u32, t_start);
-                let jf = jitter_factor(self.cfg.seed, w, self.iter, self.cfg.jitter_frac)
-                    * fw.compute_factor()
-                    * straggle;
-                let fwd = timing.forward.mul_f64(jf) + fw.per_iter_overhead();
-                for &(g, off) in &timing.grad_ready {
-                    self.sim.schedule(
-                        fwd + off.mul_f64(jf),
-                        Token::new(GRAD_KIND, w as u32, g.0 as u64),
-                    );
-                }
-                let bwd_at = fwd + timing.backward.mul_f64(jf);
-                self.sim.schedule(bwd_at, Token::new(BWD_KIND, w as u32, 0));
-                last_bwd = last_bwd.max(t_start + bwd_at);
-            }
+                    * self.faults.compute_factor(self.cfg.cluster.node_of(w) as u32, t_start)
+            });
 
             // Event loop until this iteration's communication completes.
             let mut busy_workers = world;

@@ -7,20 +7,35 @@
 //!           [--compression] [--tree] [--tune BUDGET] [--iters N]
 //!           [--faults degrade|flap|straggler|crash] [--trace OUT.json]
 //!           [--jobs N]
+//!
+//! aiacc-sim schedule [--policy packed|spread|topo|all] [--njobs N] [--seed S]
+//!           [--gpus N] [--engine E] [--mix comm-heavy|mixed|tiny] [--iters N]
+//!           [--rdma] [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json]
+//!           [--jobs N]
 //! ```
 //!
+//! `aiacc-sim` simulates one training job; `aiacc-sim schedule` admits a
+//! whole seeded *workload* of jobs onto one shared cluster — gang-placed by
+//! the chosen policy, their gradient flows contending on the same fabric —
+//! and prints per-job completion times plus cluster tail-JCT metrics as
+//! deterministic TSV.
+//!
 //! `--jobs N` (or the `AIACC_JOBS` environment variable) sets how many
-//! worker threads parallel sweeps — e.g. the `--tune` batch evaluations —
-//! may use. Results are bit-identical regardless of the worker count.
+//! worker threads parallel sweeps — e.g. the `--tune` batch evaluations, or
+//! `schedule --policy all`'s per-policy fan-out — may use. Results are
+//! bit-identical regardless of the worker count.
 //!
 //! Examples:
 //! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
 //! `aiacc-sim --model bert_large --gpus 64 --rdma --tune 40`
 //! `aiacc-sim --model resnet50 --gpus 16 --faults degrade`
 //! `aiacc-sim --model vgg16 --gpus 16 --trace trace.json` (open in Perfetto)
+//! `aiacc-sim schedule --njobs 8 --policy packed --seed 7`
+//! `aiacc-sim schedule --njobs 8 --policy all --jobs 4`
 
 use aiacc::collectives::Algo;
 use aiacc::prelude::*;
+use aiacc::sched::{JobMix, MultiJobSim};
 use aiacc::simnet::FaultPlan;
 use aiacc::trainer::tune::tune_aiacc;
 
@@ -138,7 +153,8 @@ fn parse_args() -> Result<Args, String> {
                             [--streams N] [--granularity MIB] [--batch N] [--rdma] \
                             [--compression] [--tree] [--tune BUDGET] [--iters N] \
                             [--faults degrade|flap|straggler|crash] [--trace OUT.json] \
-                            [--jobs N]"
+                            [--jobs N]\n       aiacc-sim schedule ... \
+                            (multi-job scheduler; see `aiacc-sim schedule --help`)"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -148,7 +164,190 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+struct SchedArgs {
+    policy: String,
+    njobs: usize,
+    seed: u64,
+    gpus: usize,
+    engine: Option<String>,
+    mix: String,
+    iters: usize,
+    rdma: bool,
+    load: Option<String>,
+    save: Option<String>,
+    trace: Option<String>,
+    jobs: Option<usize>,
+}
+
+fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
+    let mut args = SchedArgs {
+        policy: "packed".to_string(),
+        njobs: 8,
+        seed: 7,
+        gpus: 32,
+        engine: None,
+        mix: "comm-heavy".to_string(),
+        iters: 6,
+        rdma: false,
+        load: None,
+        save: None,
+        trace: None,
+        jobs: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--policy" => args.policy = value(&mut i)?,
+            "--njobs" => {
+                args.njobs = value(&mut i)?.parse().map_err(|e| format!("--njobs: {e}"))?
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--gpus" => args.gpus = value(&mut i)?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--engine" => args.engine = Some(value(&mut i)?),
+            "--mix" => args.mix = value(&mut i)?,
+            "--iters" => {
+                args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?
+            }
+            "--rdma" => args.rdma = true,
+            "--load" => args.load = Some(value(&mut i)?),
+            "--save" => args.save = Some(value(&mut i)?),
+            "--trace" => args.trace = Some(value(&mut i)?),
+            "--jobs" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs needs a positive integer".to_string());
+                }
+                args.jobs = Some(n);
+            }
+            "--help" | "-h" => {
+                return Err("usage: aiacc-sim schedule [--policy packed|spread|topo|all] \
+                            [--njobs N] [--seed S] [--gpus N] [--engine E] \
+                            [--mix comm-heavy|mixed|tiny] [--iters N] [--rdma] \
+                            [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json] [--jobs N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other} (try schedule --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// Renders one policy's scenario as deterministic TSV: a per-job block
+/// followed by the cluster-metrics block. Fixed 9-digit float precision so
+/// equal runs are byte-for-byte equal regardless of `--jobs`.
+fn sched_render(report: &aiacc::sched::MultiJobReport) -> String {
+    let mut out = String::from(
+        "id\tmodel\tgpus\tengine\tarrival_s\tstart_s\tfinish_s\tjct_s\tqueue_s\tnodes\tmean_iter_s\n",
+    );
+    for j in &report.jobs {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{}\t{:.9}\n",
+            j.id,
+            j.model,
+            j.gpus,
+            j.engine,
+            j.arrival_secs,
+            j.start_secs,
+            j.finish_secs,
+            j.jct_secs(),
+            j.queue_delay_secs(),
+            j.nodes_used,
+            j.mean_iter_secs(),
+        ));
+    }
+    let m = aiacc::sched::summarize(report);
+    out.push_str(aiacc::sched::ClusterMetrics::tsv_header());
+    out.push('\n');
+    out.push_str(&m.to_tsv_row());
+    out.push('\n');
+    out
+}
+
+fn cmd_schedule(argv: &[String]) -> Result<(), String> {
+    let args = parse_sched_args(argv)?;
+    if let Some(n) = args.jobs {
+        aiacc::simnet::par::set_jobs(n);
+    }
+    let cluster = if args.rdma {
+        ClusterSpec::rdma_v100(args.gpus)
+    } else {
+        ClusterSpec::tcp_v100(args.gpus)
+    };
+    let workload = match &args.load {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Workload::from_tsv(&text)?
+        }
+        None => {
+            let mix = JobMix::by_name(&args.mix)
+                .ok_or_else(|| format!("unknown mix {}; use comm-heavy|mixed|tiny", args.mix))?;
+            let mut cfg =
+                WorkloadCfg::new(args.njobs, args.seed).with_mix(mix).with_iterations(args.iters);
+            if let Some(label) = &args.engine {
+                let engine = aiacc::sched::engine_by_label(label).ok_or_else(|| {
+                    format!(
+                        "unknown engine {label}; use aiacc|horovod|pytorch-ddp|byteps|mxnet-kvstore"
+                    )
+                })?;
+                cfg = cfg.with_engine(engine);
+            }
+            Workload::generate(&cfg)
+        }
+    };
+    if let Some(path) = &args.save {
+        std::fs::write(path, workload.to_tsv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[aiacc-sim] workload trace saved to {path}");
+    }
+    let policies: Vec<PlacePolicy> = if args.policy == "all" {
+        PlacePolicy::all().to_vec()
+    } else {
+        vec![PlacePolicy::by_name(&args.policy)
+            .ok_or_else(|| format!("unknown policy {}; use packed|spread|topo|all", args.policy))?]
+    };
+    // One scenario per policy, fanned out over `--jobs` workers; each
+    // scenario's event loop stays single-threaded, so output is
+    // bit-identical for any worker count.
+    let blocks = aiacc::simnet::par::map(&policies, |&policy| {
+        let cfg = MultiJobCfg::new(cluster.clone(), policy, workload.clone())
+            .with_trace(args.trace.is_some());
+        if args.trace.is_some() {
+            let (report, json) = MultiJobSim::new(cfg).run_with_trace();
+            (sched_render(&report), json)
+        } else {
+            (sched_render(&aiacc::sched::run_multijob(cfg)), String::new())
+        }
+    });
+    for (policy, (block, json)) in policies.iter().zip(&blocks) {
+        println!("# policy {}", policy.name());
+        print!("{block}");
+        if let Some(path) = &args.trace {
+            let out = if policies.len() == 1 {
+                path.clone()
+            } else {
+                format!("{}.{}.json", path.trim_end_matches(".json"), policy.name())
+            };
+            std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("[aiacc-sim] trace written to {out} (open in https://ui.perfetto.dev)");
+        }
+    }
+    Ok(())
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("schedule") {
+        if let Err(msg) = cmd_schedule(&argv[1..]) {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

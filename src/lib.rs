@@ -43,6 +43,7 @@
 //! | [`baselines`] | Horovod, PyTorch-DDP, BytePS, MXNet-KVStore |
 //! | [`autotune`] | MAB meta-solver over grid/PBT/Bayesian/Hyperband |
 //! | [`trainer`] | the training-loop simulation + real data-parallel training |
+//! | [`sched`] | multi-job cluster scheduler: workloads, gang placement, shared-fabric contention, tail-JCT metrics |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +55,7 @@ pub use aiacc_collectives as collectives;
 pub use aiacc_core as core;
 pub use aiacc_dnn as dnn;
 pub use aiacc_optim as optim;
+pub use aiacc_sched as sched;
 pub use aiacc_simnet as simnet;
 pub use aiacc_trainer as trainer;
 
@@ -68,6 +70,10 @@ pub mod prelude {
     };
     pub use aiacc_dnn::{data::Dataset, zoo, DType, Mlp, MlpConfig, ModelProfile, Tensor};
     pub use aiacc_optim::{Adam, AdamSgd, Optimizer, Sgd};
+    pub use aiacc_sched::{
+        run_multijob, summarize, ClusterMetrics, MultiJobCfg, MultiJobReport, PlacePolicy,
+        Workload, WorkloadCfg,
+    };
     pub use aiacc_simnet::{
         Event, FaultEvent, FaultKind, FaultPlan, FaultTarget, FlowSpec, SimDuration, SimTime,
         Simulator, TraceSink, TraceSummary,
