@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT ...] [--quick] [--out DIR] [--jobs N]
 //!
 //! EXPERIMENT: table1 bandwidth fig2 fig9 fig10 fig11 fig12 fig13 fig14
-//!             fig15 fig_multijob ctr insightface dawnbench tuning
+//!             fig15 fig_multijob fig_chaos ctr insightface dawnbench tuning
 //!             ablations all
 //! --quick     reduced GPU sweep (1/8/32) and smaller tuning budgets
 //! --out DIR   also write each table as TSV under DIR (default: results/)
@@ -80,6 +80,9 @@ fn main() {
             if quick { 3 } else { 6 },
         )
     });
+    run("fig_chaos", &mut || {
+        fig_chaos(if quick { CHAOS_QUICK_SEEDS } else { CHAOS_SEEDS }, if quick { 3 } else { 6 })
+    });
     run("ctr", &mut || ctr_production_speedup(big_gpus));
     run("insightface", &mut || insightface_speedup(big_gpus));
     run("dawnbench", &mut dawnbench_table);
@@ -105,7 +108,8 @@ fn main() {
     if ran == 0 {
         eprintln!(
             "unknown experiment(s): {wanted:?}\nknown: table1 bandwidth fig2 fig9 fig10 fig11 \
-             fig12 fig13 fig14 fig15 fig_multijob ctr insightface dawnbench tuning ablations all"
+             fig12 fig13 fig14 fig15 fig_multijob fig_chaos ctr insightface dawnbench tuning \
+             ablations all"
         );
         std::process::exit(2);
     }

@@ -9,12 +9,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exp_chaos;
 mod exp_further;
 mod exp_multijob;
 mod exp_overall;
 mod exp_tuning;
 mod report;
 
+pub use exp_chaos::{
+    chaos_points, fig_chaos, mean_delta_p99, ChaosPoint, CHAOS_QUICK_SEEDS, CHAOS_SEEDS,
+};
 pub use exp_further::{
     bandwidth_utilization, ctr_production_speedup, dawnbench_table, fig13_hybrid,
     fig14_batch_sweep, fig15_rdma, insightface_speedup, table1_models,

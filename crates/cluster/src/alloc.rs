@@ -27,13 +27,17 @@ pub struct GpuFreeList {
     spec: ClusterSpec,
     /// Sorted free *local* ranks per node.
     free: Vec<Vec<usize>>,
+    /// Nodes currently crashed: their free ranks are parked (still tracked
+    /// in `free`, so releases keep working) but invisible to allocation
+    /// until a repair event calls [`GpuFreeList::set_node_up`].
+    down: Vec<bool>,
 }
 
 impl GpuFreeList {
     /// A free list over `spec` with every GPU available.
     pub fn new(spec: &ClusterSpec) -> Self {
         let free = (0..spec.nodes).map(|n| (0..spec.gpus_on_node(n)).collect()).collect();
-        GpuFreeList { spec: spec.clone(), free }
+        GpuFreeList { spec: spec.clone(), free, down: vec![false; spec.nodes] }
     }
 
     /// The physical cluster this list allocates from.
@@ -41,22 +45,43 @@ impl GpuFreeList {
         &self.spec
     }
 
-    /// Number of free GPUs on node `node`.
-    pub fn free_on_node(&self, node: usize) -> usize {
-        self.free[node].len()
+    /// Marks node `node` as crashed: its free GPUs are quarantined and
+    /// ranks released onto it stay parked until [`GpuFreeList::set_node_up`].
+    pub fn set_node_down(&mut self, node: usize) {
+        self.down[node] = true;
     }
 
-    /// Total free GPUs across the cluster.
+    /// Marks node `node` as repaired, returning its parked GPUs to the pool.
+    pub fn set_node_up(&mut self, node: usize) {
+        self.down[node] = false;
+    }
+
+    /// Whether node `node` is currently marked crashed.
+    pub fn node_is_down(&self, node: usize) -> bool {
+        self.down[node]
+    }
+
+    /// Number of free GPUs on node `node` (zero while the node is down).
+    pub fn free_on_node(&self, node: usize) -> usize {
+        if self.down[node] {
+            0
+        } else {
+            self.free[node].len()
+        }
+    }
+
+    /// Total free GPUs across the cluster, excluding down nodes.
     pub fn total_free(&self) -> usize {
-        self.free.iter().map(Vec::len).sum()
+        (0..self.free.len()).map(|n| self.free_on_node(n)).sum()
     }
 
     /// Takes the `count` lowest free GPUs on `node`, returning their
     /// *global* ranks in ascending order.
     ///
     /// # Panics
-    /// Panics if the node has fewer than `count` free GPUs.
+    /// Panics if the node is down or has fewer than `count` free GPUs.
     pub fn take(&mut self, node: usize, count: usize) -> Vec<usize> {
+        assert!(!self.down[node], "cannot allocate on crashed node {node}");
         assert!(
             count <= self.free[node].len(),
             "node {node} has {} free GPUs, requested {count}",
@@ -66,7 +91,9 @@ impl GpuFreeList {
         self.free[node].drain(..count).map(|l| base + l).collect()
     }
 
-    /// Returns previously-taken global ranks to the pool.
+    /// Returns previously-taken global ranks to the pool. Ranks on a down
+    /// node are accepted but stay parked (not allocatable) until the node
+    /// is repaired — a crashed gang member's GPUs must not be backfilled.
     ///
     /// # Panics
     /// Panics if a rank is out of range or already free.
@@ -126,5 +153,32 @@ mod tests {
     fn double_release_rejected() {
         let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(8));
         fl.release(&[3]);
+    }
+
+    #[test]
+    fn down_node_is_quarantined_until_repair() {
+        let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(16));
+        let gang = fl.take(1, 4);
+        fl.set_node_down(1);
+        assert!(fl.node_is_down(1));
+        assert_eq!(fl.free_on_node(1), 0, "down node must advertise no capacity");
+        assert_eq!(fl.total_free(), 8, "only node 0 counts while node 1 is down");
+        // Releasing the dead node's ranks parks them instead of re-offering.
+        fl.release(&gang);
+        assert_eq!(fl.free_on_node(1), 0);
+        assert_eq!(fl.total_free(), 8);
+        // Repair returns the full node, parked ranks included.
+        fl.set_node_up(1);
+        assert!(!fl.node_is_down(1));
+        assert_eq!(fl.free_on_node(1), 8);
+        assert_eq!(fl.take(1, 2), vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed node")]
+    fn take_on_down_node_rejected() {
+        let mut fl = GpuFreeList::new(&ClusterSpec::tcp_v100(16));
+        fl.set_node_down(0);
+        let _ = fl.take(0, 1);
     }
 }

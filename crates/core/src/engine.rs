@@ -53,6 +53,12 @@ pub struct AiaccConfig {
     /// each retry). `None` disables the watchdog — the default, since on a
     /// healthy network a resubmission can only lose work.
     pub stall_timeout: Option<SimDuration>,
+    /// Upper bound on watchdog resubmissions *per unit*. Once a unit has
+    /// been resubmitted this many times, its final attempt runs unwatched
+    /// to completion — under sustained chaos an unbounded watchdog can
+    /// thrash forever cancelling work that would eventually finish.
+    /// `None` (the default) keeps the pre-existing unbounded behaviour.
+    pub max_resubmissions: Option<u32>,
 }
 
 impl Default for AiaccConfig {
@@ -67,6 +73,7 @@ impl Default for AiaccConfig {
             mode: RingMode::Auto,
             compression: false,
             stall_timeout: None,
+            max_resubmissions: None,
         }
     }
 }
@@ -117,6 +124,13 @@ impl AiaccConfig {
     pub fn with_stall_timeout(mut self, timeout: SimDuration) -> Self {
         assert!(timeout > SimDuration::ZERO, "stall timeout must be positive");
         self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds watchdog resubmissions per unit; the attempt after the last
+    /// allowed resubmission runs unwatched to completion.
+    pub fn with_max_resubmissions(mut self, max: u32) -> Self {
+        self.max_resubmissions = Some(max);
         self
     }
 
@@ -344,11 +358,13 @@ impl AiaccEngine {
         let spec =
             CollectiveSpec::allreduce(unit.bytes).with_algo(self.cfg.algo).with_mode(self.cfg.mode);
         let op = cx.coll.launch(cx.sim, cx.cluster, spec);
-        if let Some(base) = self.cfg.stall_timeout {
+        let watched = self.cfg.max_resubmissions.is_none_or(|max| attempts < max);
+        if let Some(base) = self.cfg.stall_timeout.filter(|_| watched) {
             // Exponential backoff: each retry waits twice as long before
             // declaring the unit stalled again. `mul_f64` saturates, so a
             // huge backoff schedules at the clamped far future, not in the
-            // past.
+            // past. Once the resubmission budget is spent the attempt runs
+            // unwatched — cancelling it again could starve the op forever.
             let timeout = base.mul_f64(f64::from(1u32 << attempts.min(16)));
             cx.sim.schedule(timeout, Token::new(ENGINE_TIMER_KIND, TIMER_UNIT_STALL, op.0));
         }
@@ -655,6 +671,30 @@ mod tests {
         let (_, stats) = drive(&zoo::resnet50(), 8, small_gran);
         // 102 MB of gradients at 8 MiB buckets: many rounds.
         assert!(stats.sync_rounds >= 5, "got {}", stats.sync_rounds);
+    }
+
+    #[test]
+    fn resubmission_bound_caps_watchdog_thrash() {
+        // An absurdly aggressive watchdog on a healthy network: every unit
+        // stalls out repeatedly until backoff catches up with reality.
+        let trigger = AiaccConfig::default()
+            .with_streams(2)
+            .with_stall_timeout(SimDuration::from_secs_f64(1e-3));
+        let (t_unbounded, unbounded) = drive(&zoo::vgg16(), 16, trigger);
+        assert!(unbounded.resubmissions > 0, "watchdog never fired — test is vacuous");
+
+        let (t_bounded, bounded) = drive(&zoo::vgg16(), 16, trigger.with_max_resubmissions(1));
+        let distinct = bounded.units_launched - bounded.resubmissions;
+        assert!(
+            bounded.resubmissions <= distinct,
+            "{} resubmissions for {} units exceeds the per-unit bound of 1",
+            bounded.resubmissions,
+            distinct
+        );
+        assert!(bounded.resubmissions < unbounded.resubmissions);
+        // Both runs complete; the bounded one never finishes later than the
+        // thrashing one since it stops cancelling work that would land.
+        assert!(t_bounded > 0.0 && t_bounded <= t_unbounded + 1e-9);
     }
 
     #[test]

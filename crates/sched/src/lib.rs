@@ -36,12 +36,16 @@
 //! assert!(m.jct_p99_secs >= m.jct_p50_secs);
 //! ```
 
+pub mod error;
 pub mod metrics;
 pub mod multijob;
 pub mod placement;
 pub mod workload;
 
+pub use error::SchedError;
 pub use metrics::{jain_fairness, summarize, ClusterMetrics};
-pub use multijob::{run_multijob, JobOutcome, MultiJobCfg, MultiJobReport, MultiJobSim};
+pub use multijob::{
+    run_multijob, JobOutcome, MultiJobCfg, MultiJobReport, MultiJobSim, RecoveryPolicy,
+};
 pub use placement::{try_place, PlacePolicy, Placement};
 pub use workload::{engine_by_label, JobMix, JobSpec, Workload, WorkloadCfg};

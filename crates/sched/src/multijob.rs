@@ -10,14 +10,31 @@
 //! With a single job the event sequence degenerates to exactly the
 //! single-job path, which is what makes the N=1 bit-identity guarantee hold.
 //!
+//! # Failure model
+//!
+//! Node crashes from the fault plan are first-class events. When a node
+//! crashes, its GPUs are quarantined in the [`GpuFreeList`] until the repair
+//! event (if any) returns them, and every gang with a member on the node is
+//! torn down: in-flight collectives cancelled, then the configured
+//! [`RecoveryPolicy`] decides the job's fate — [`RecoveryPolicy::Restart`]
+//! (checkpoint restart, re-place on healthy nodes),
+//! [`RecoveryPolicy::Shrink`] (elastic continue on the surviving gang
+//! members), or [`RecoveryPolicy::Fail`] (account the job as killed). Every
+//! recovery pause is priced by the replayed timelines of
+//! [`aiacc_trainer::recovery`], so multi-job crash accounting reconciles
+//! with the single-job closed forms.
+//!
 //! Determinism argument for the shared event loop: the simulator delivers
 //! events in `(time, schedule-order)` order; every event is routed to its
 //! owning job either by the scope stamped into its token's high bits
 //! ([`aiacc_simnet::Simulator::set_token_scope`]) or by probing
-//! `CollectiveEngine::owns_flow` in ascending job order. No routing decision
+//! `CollectiveEngine::owns_flow` in ascending job order. Scopes carry a
+//! per-job *epoch* that is bumped on every crash recovery, so events from an
+//! aborted attempt can never leak into the resumed one. No routing decision
 //! depends on wall-clock, hashing, or thread interleaving, so a scenario is
-//! a pure function of (cluster, workload, policy).
+//! a pure function of (cluster, workload, policy, faults).
 
+use crate::error::SchedError;
 use crate::placement::{try_place, PlacePolicy, Placement};
 use crate::workload::Workload;
 use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel, GpuFreeList, IterationTiming};
@@ -25,7 +42,11 @@ use aiacc_collectives::CollectiveEngine;
 use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
 use aiacc_dnn::{zoo, DType, GradId, ModelProfile};
 use aiacc_simnet::trace::track;
-use aiacc_simnet::{Event, FaultPlan, FaultRecord, FlowId, SimTime, Simulator, Token};
+use aiacc_simnet::{
+    Event, FaultPhase, FaultPlan, FaultRecord, FaultTarget, FlowId, SimDuration, SimTime,
+    Simulator, Token,
+};
+use aiacc_trainer::recovery::{replay_elastic_join, replay_failure_recovery, RecoveryConfig};
 use aiacc_trainer::{
     comm_stream_limits, schedule_worker_compute, ComputeAttempt, Framework, BWD_KIND, GRAD_KIND,
 };
@@ -34,6 +55,60 @@ use aiacc_trainer::{
 const ARRIVAL_KIND: u32 = 10;
 /// Scoped timer kind marking a job's iteration boundary (`b` = iteration).
 const BOUNDARY_KIND: u32 = 11;
+/// Unscoped timer kind for a node crash (`a` = node).
+const CRASH_KIND: u32 = 12;
+/// Unscoped timer kind for a node repair (`a` = node).
+const REPAIR_KIND: u32 = 13;
+/// Unscoped timer kind re-queueing a restarted job after its checkpoint
+/// restore completes (`a` = job id).
+const REQUEUE_KIND: u32 = 14;
+/// Scoped timer kind resuming a shrunken gang after its elastic-join pause.
+const RESUME_KIND: u32 = 15;
+
+/// EWMA weight of the newest iteration sample in the straggler detector.
+const EWMA_ALPHA: f64 = 0.5;
+/// Floor on the synthetic NIC-health capacity ratio a mitigation reports —
+/// the stream pool never collapses below a quarter of its configured size.
+const MITIGATION_FLOOR: f64 = 0.25;
+
+/// What to do with a job whose gang lost a node to a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Checkpoint restart: pay a replayed
+    /// [`aiacc_trainer::recovery::replay_failure_recovery`] pause, then
+    /// re-place the full gang on healthy nodes and retry the interrupted
+    /// iteration (completed iterations are checkpointed).
+    Restart,
+    /// Elastic continue: the surviving gang members keep their GPUs, pay a
+    /// replayed [`aiacc_trainer::recovery::replay_elastic_join`]
+    /// membership-change pause (the rebuild cost is symmetric in join and
+    /// leave), and resume on a ring rebuilt over the shrunken subnet. A gang
+    /// with no survivors falls back to [`RecoveryPolicy::Restart`].
+    Shrink,
+    /// Kill the job and account it as failed in the cluster metrics.
+    Fail,
+}
+
+impl RecoveryPolicy {
+    /// The policy's CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Restart => "restart",
+            RecoveryPolicy::Shrink => "shrink",
+            RecoveryPolicy::Fail => "fail",
+        }
+    }
+
+    /// Looks a policy up by name.
+    pub fn by_name(name: &str) -> Option<RecoveryPolicy> {
+        match name {
+            "restart" => Some(RecoveryPolicy::Restart),
+            "shrink" => Some(RecoveryPolicy::Shrink),
+            "fail" => Some(RecoveryPolicy::Fail),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of one multi-job scenario.
 #[derive(Debug, Clone)]
@@ -48,16 +123,26 @@ pub struct MultiJobCfg {
     pub framework: Framework,
     /// Compute jitter amplitude (fraction).
     pub jitter_frac: f64,
-    /// Link-degradation fault plan on the *physical* cluster (node targets
-    /// resolve to that node's NIC). Crash faults are not supported here.
+    /// Fault plan on the *physical* cluster: node-targeted link faults
+    /// resolve to that node's NIC, straggler windows slow the node's
+    /// compute, and crashes take the node (and every gang on it) down until
+    /// the repair event.
     pub faults: FaultPlan,
+    /// What happens to a gang that loses a node.
+    pub recovery: RecoveryPolicy,
+    /// When `Some(threshold)`, the straggler detector flags a running job
+    /// whose iteration-time slowdown (EWMA over its own fastest iteration)
+    /// exceeds `threshold ×` the cluster-median slowdown, and feeds a
+    /// synthetic NIC-health record to that job's engine so AIACC's stream
+    /// pool scales down on the degraded gang.
+    pub straggler_threshold: Option<f64>,
     /// Records a structured trace (one lane per job).
     pub trace: bool,
 }
 
 impl MultiJobCfg {
     /// A scenario with TrainingSim-matching defaults (PyTorch, 2 % jitter,
-    /// no faults, no trace).
+    /// no faults, restart recovery, no straggler mitigation, no trace).
     pub fn new(cluster: ClusterSpec, policy: PlacePolicy, workload: Workload) -> Self {
         MultiJobCfg {
             cluster,
@@ -66,13 +151,33 @@ impl MultiJobCfg {
             framework: Framework::PyTorch,
             jitter_frac: 0.02,
             faults: FaultPlan::new(),
+            recovery: RecoveryPolicy::Restart,
+            straggler_threshold: None,
             trace: false,
         }
     }
 
-    /// Installs a link-fault plan.
+    /// Installs a fault plan (link faults, straggler windows, crashes).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Selects the crash-recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Enables the straggler detector with the given relative threshold
+    /// (e.g. `1.25` flags jobs running 25 % slower than the cluster median
+    /// slowdown).
+    ///
+    /// # Panics
+    /// Panics if `threshold < 1.0`.
+    pub fn with_straggler_mitigation(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "straggler threshold must be >= 1: {threshold}");
+        self.straggler_threshold = Some(threshold);
         self
     }
 
@@ -98,16 +203,32 @@ pub struct JobOutcome {
     pub arrival_secs: f64,
     /// When the gang was placed and the first iteration began, seconds.
     pub start_secs: f64,
-    /// When the last iteration's boundary passed, seconds.
+    /// When the last iteration's boundary passed (or the job was killed),
+    /// seconds.
     pub finish_secs: f64,
-    /// Physical nodes the gang occupied.
+    /// Physical nodes the gang occupied (its last placement).
     pub nodes_used: usize,
-    /// Per-iteration durations, seconds.
+    /// Per-iteration durations, seconds. A crashed-and-retried iteration's
+    /// duration includes the lost attempt and the recovery pause, exactly as
+    /// in the single-job `TrainingSim`.
     pub iter_secs: Vec<f64>,
-    /// Bytes this job's flows actually moved on the fabric.
+    /// Bytes this job's flows actually moved on the fabric (all epochs).
     pub comm_bytes_delivered: f64,
-    /// Bytes this job's flows were launched to move.
+    /// Bytes this job's flows were launched to move (all epochs).
     pub comm_bytes_launched: f64,
+    /// Node crashes that hit this job's gang.
+    pub crashes: u32,
+    /// Checkpoint restarts the job paid.
+    pub restarts: u32,
+    /// Elastic shrink operations the job paid.
+    pub shrinks: u32,
+    /// Total wall-clock spent in recovery pauses, seconds.
+    pub recovery_secs: f64,
+    /// Straggler mitigations applied to this job.
+    pub mitigations: u32,
+    /// Whether the job was killed (crash under [`RecoveryPolicy::Fail`], or
+    /// no possible placement left after permanent capacity loss).
+    pub failed: bool,
 }
 
 impl JobOutcome {
@@ -123,8 +244,12 @@ impl JobOutcome {
         (self.start_secs - self.arrival_secs).max(0.0)
     }
 
-    /// Mean iteration duration, seconds.
+    /// Mean iteration duration, seconds (0 for a job killed before its
+    /// first iteration boundary).
     pub fn mean_iter_secs(&self) -> f64 {
+        if self.iter_secs.is_empty() {
+            return 0.0;
+        }
         self.iter_secs.iter().sum::<f64>() / self.iter_secs.len() as f64
     }
 }
@@ -161,10 +286,21 @@ struct RunningJob {
     iter_secs: Vec<f64>,
 }
 
+/// Iteration progress preserved while a crashed job waits to be re-placed.
+struct SavedProgress {
+    iter: u64,
+    iter_secs: Vec<f64>,
+    started_at: SimTime,
+    iter_start: SimTime,
+}
+
 enum JobState {
     /// Not yet arrived, or arrived and waiting in the queue.
     Pending,
     Running(Box<RunningJob>),
+    /// Crashed under [`RecoveryPolicy::Restart`]: gang released, restoring
+    /// its checkpoint until the re-queue timer fires.
+    Suspended(SavedProgress),
     Done,
 }
 
@@ -172,6 +308,46 @@ struct JobRun {
     model: ModelProfile,
     state: JobState,
     outcome: Option<JobOutcome>,
+    /// Bumped on every crash recovery; events stamped with a stale epoch are
+    /// dropped on delivery.
+    epoch: u32,
+    /// Every token scope this job has used (one per epoch), for byte
+    /// accounting across restarts.
+    scopes: Vec<u32>,
+    crashes: u32,
+    restarts: u32,
+    shrinks: u32,
+    recovery_secs: f64,
+    mitigations: u32,
+    /// EWMA of iteration seconds (straggler detector).
+    ewma_iter: Option<f64>,
+    /// Fastest iteration seen so far (the job's own healthy baseline).
+    best_iter: Option<f64>,
+    /// Whether a synthetic NIC-health mitigation is currently applied.
+    mitigated: bool,
+    /// Capacity the active mitigation advertised (for the restore record).
+    mitigation_cap: f64,
+}
+
+impl JobRun {
+    fn new(model: ModelProfile) -> Self {
+        JobRun {
+            model,
+            state: JobState::Pending,
+            outcome: None,
+            epoch: 0,
+            scopes: Vec::new(),
+            crashes: 0,
+            restarts: 0,
+            shrinks: 0,
+            recovery_secs: 0.0,
+            mitigations: 0,
+            ewma_iter: None,
+            best_iter: None,
+            mitigated: false,
+            mitigation_cap: 0.0,
+        }
+    }
 }
 
 /// The multi-job scheduler/simulator.
@@ -184,62 +360,132 @@ pub struct MultiJobSim {
     jobs: Vec<JobRun>,
     /// FIFO queue of arrived-but-unplaced job ids.
     queue: Vec<usize>,
+    /// Repair events still scheduled to fire; while any remain, an
+    /// unplaceable job keeps waiting instead of being declared impossible.
+    pending_repairs: usize,
 }
 
 impl MultiJobSim {
-    /// Builds the scenario: physical resources, fault plan, arrival timers.
-    ///
-    /// # Panics
-    /// Panics if the workload is empty, a job requests more GPUs than the
-    /// cluster has, a model name is unknown, or the fault plan contains
-    /// crash faults (not supported in multi-job runs).
-    pub fn new(cfg: MultiJobCfg) -> Self {
-        assert!(!cfg.workload.jobs.is_empty(), "empty workload");
+    /// Builds the scenario — physical resources, fault plan (link faults,
+    /// crash/repair timers), arrival timers — after validating the config.
+    pub fn try_new(cfg: MultiJobCfg) -> Result<Self, SchedError> {
+        if cfg.workload.jobs.is_empty() {
+            return Err(SchedError::EmptyWorkload);
+        }
+        let total = cfg.cluster.world_size();
+        let nodes = cfg.cluster.nodes;
+        for (i, j) in cfg.workload.jobs.iter().enumerate() {
+            if j.id != i {
+                return Err(SchedError::NonDenseJobIds { index: i, id: j.id });
+            }
+            if j.gpus == 0 || j.gpus > total {
+                return Err(SchedError::BadGangSize { job: i, gpus: j.gpus, capacity: total });
+            }
+            if j.iterations == 0 {
+                return Err(SchedError::ZeroIterations { job: i });
+            }
+            if zoo::by_name(&j.model).is_none() {
+                return Err(SchedError::UnknownModel { job: i, model: j.model.clone() });
+            }
+        }
+        for ev in cfg.faults.events() {
+            if let FaultTarget::Node(n) = ev.target {
+                if n as usize >= nodes {
+                    return Err(SchedError::FaultNodeOutOfRange { node: n, nodes });
+                }
+            }
+        }
+
         let mut sim = Simulator::new();
         if cfg.trace {
             sim.enable_tracing();
         }
         let physical = ClusterNet::build(&cfg.cluster, sim.net_mut());
         let free = GpuFreeList::new(&cfg.cluster);
-        let nodes = cfg.cluster.nodes;
         let faults = cfg.faults.resolve_links(|n| {
-            assert!((n as usize) < nodes, "fault targets node {n}, cluster has {nodes}");
             vec![physical.node_tx_resource(n as usize), physical.node_rx_resource(n as usize)]
         });
-        assert!(
-            faults.crash_times().is_empty(),
-            "crash faults are not supported in multi-job runs (use link faults)"
-        );
         sim.install_faults(&faults);
-        let total = cfg.cluster.world_size();
         let mut jobs = Vec::with_capacity(cfg.workload.jobs.len());
         for (i, j) in cfg.workload.jobs.iter().enumerate() {
-            assert_eq!(j.id, i, "workload job ids must be dense and ordered");
-            assert!(j.gpus > 0 && j.gpus <= total, "job {i} requests {} of {total} GPUs", j.gpus);
-            assert!(j.iterations > 0, "job {i} has no iterations");
-            let model = zoo::by_name(&j.model)
-                .unwrap_or_else(|| panic!("job {i}: unknown model {:?}", j.model));
+            let model = zoo::by_name(&j.model).expect("validated above");
             sim.schedule_at(
                 SimTime::from_secs_f64(j.arrival_secs),
                 Token::new(ARRIVAL_KIND, i as u32, 0),
             );
-            jobs.push(JobRun { model, state: JobState::Pending, outcome: None });
+            jobs.push(JobRun::new(model));
         }
-        MultiJobSim { cfg, sim, physical, free, faults, jobs, queue: Vec::new() }
+        let mut pending_repairs = 0;
+        for (node, at, repair) in faults.crash_spans() {
+            sim.schedule_at(at, Token::new(CRASH_KIND, node, 0));
+            if let Some(up_at) = repair {
+                sim.schedule_at(up_at, Token::new(REPAIR_KIND, node, 0));
+                pending_repairs += 1;
+            }
+        }
+        Ok(MultiJobSim {
+            cfg,
+            sim,
+            physical,
+            free,
+            faults,
+            jobs,
+            queue: Vec::new(),
+            pending_repairs,
+        })
     }
 
-    /// The scope stamped on job `id`'s tokens and flows (`id + 1`; scope 0
-    /// stays reserved for scheduler-level events).
-    fn scope(id: usize) -> u32 {
-        id as u32 + 1
+    /// Builds the scenario, panicking on an invalid config (the fallible
+    /// variant is [`MultiJobSim::try_new`]).
+    ///
+    /// # Panics
+    /// Panics if [`MultiJobSim::try_new`] would return an error.
+    pub fn new(cfg: MultiJobCfg) -> Self {
+        MultiJobSim::try_new(cfg).unwrap_or_else(|e| panic!("invalid multi-job scenario: {e}"))
+    }
+
+    /// The scope stamped on job `id`'s tokens and flows in its current
+    /// epoch: `1 + id + epoch·njobs`. Epoch 0 reduces to `id + 1` (scope 0
+    /// stays reserved for scheduler-level events), so fault-free scenarios
+    /// produce exactly the pre-crash-support event stream.
+    fn scope(&self, id: usize) -> u32 {
+        let s = 1 + id + self.jobs[id].epoch as usize * self.jobs.len();
+        assert!(
+            s <= 0xFFFF,
+            "job {id} epoch {} overflows the token scope space",
+            self.jobs[id].epoch
+        );
+        s as u32
+    }
+
+    /// Inverts [`MultiJobSim::scope`]: `(job id, epoch)`.
+    fn decode_scope(&self, scope: u32) -> (usize, u32) {
+        let v = scope as usize - 1;
+        (v % self.jobs.len(), (v / self.jobs.len()) as u32)
+    }
+
+    /// Records the job's current scope for byte accounting.
+    fn record_scope(&mut self, id: usize) {
+        let s = self.scope(id);
+        if !self.jobs[id].scopes.contains(&s) {
+            self.jobs[id].scopes.push(s);
+        }
     }
 
     fn all_done(&self) -> bool {
         self.jobs.iter().all(|j| matches!(j.state, JobState::Done))
     }
 
-    /// Tries to place job `id` right now; on success starts its first
-    /// iteration.
+    /// Total GPUs on nodes that are currently up (free or occupied).
+    fn up_capacity(&self) -> usize {
+        (0..self.cfg.cluster.nodes)
+            .filter(|&n| !self.free.node_is_down(n))
+            .map(|n| self.cfg.cluster.gpus_on_node(n))
+            .sum()
+    }
+
+    /// Tries to place job `id` right now; on success starts (or resumes) its
+    /// first pending iteration.
     fn try_start(&mut self, id: usize) -> bool {
         let spec = &self.cfg.workload.jobs[id];
         let Some(placement) = try_place(self.cfg.policy, spec.gpus, &self.free) else {
@@ -254,10 +500,22 @@ impl MultiJobSim {
         let (streams_busy, streams_idle) = comm_stream_limits(&compute, &placement.spec, &model);
         let cluster = self.physical.subnet(placement.spec.clone(), &placement.ranks);
         let now = self.sim.now();
+        let saved = match std::mem::replace(&mut self.jobs[id].state, JobState::Pending) {
+            JobState::Suspended(s) => Some(s),
+            JobState::Pending => None,
+            _ => unreachable!("placing a job that is running or done"),
+        };
         if self.sim.tracing_enabled() {
-            let name = format!("job{id} start");
+            let name =
+                if saved.is_some() { format!("job{id} restart") } else { format!("job{id} start") };
             self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
         }
+        let (iter, iter_secs, started_at, iter_start) = match saved {
+            Some(s) => (s.iter, s.iter_secs, s.started_at, s.iter_start),
+            None => (0, Vec::new(), now, now),
+        };
+        // A rebuilt engine starts with a clean NIC-health map.
+        self.jobs[id].mitigated = false;
         self.jobs[id].state = JobState::Running(Box::new(RunningJob {
             placement,
             cluster,
@@ -266,14 +524,15 @@ impl MultiJobSim {
             timing,
             streams_busy,
             streams_idle,
-            iter: 0,
+            iter,
             busy_workers: 0,
             last_bwd: now,
             draining: false,
-            iter_start: now,
-            started_at: now,
-            iter_secs: Vec::new(),
+            iter_start,
+            started_at,
+            iter_secs,
         }));
+        self.record_scope(id);
         self.begin_iteration(id);
         true
     }
@@ -282,12 +541,13 @@ impl MultiJobSim {
     /// reset, then the per-worker compute schedule — all under the job's
     /// token scope so every timer and flow is stamped with its owner.
     fn begin_iteration(&mut self, id: usize) {
+        let scope = self.scope(id);
         let spec = &self.cfg.workload.jobs[id];
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { unreachable!("job not running") };
         let now = self.sim.now();
         let world = r.placement.spec.world_size();
-        self.sim.set_token_scope(Self::scope(id));
+        self.sim.set_token_scope(scope);
         {
             let mut cx = DdlCtx {
                 sim: &mut self.sim,
@@ -315,7 +575,6 @@ impl MultiJobSim {
         r.busy_workers = world;
         r.last_bwd = last_bwd;
         r.draining = false;
-        r.iter_start = now;
         if self.sim.tracing_enabled() {
             let name = format!("job{id} iter {}", r.iter);
             self.sim.trace_span_begin(track::TRAINER, id as u64, &name, "iteration");
@@ -327,6 +586,7 @@ impl MultiJobSim {
     /// ends at `max(comm_done, last_bwd) + update` and the job drains until
     /// that boundary.
     fn check_comm_done(&mut self, id: usize, t: SimTime) {
+        let scope = self.scope(id);
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { return };
         if r.draining || r.busy_workers > 0 || !r.engine.comm_done() {
@@ -334,7 +594,7 @@ impl MultiJobSim {
         }
         let end = t.max(r.last_bwd) + r.timing.update;
         r.draining = true;
-        self.sim.set_token_scope(Self::scope(id));
+        self.sim.set_token_scope(scope);
         self.sim.schedule_at(end, Token::new(BOUNDARY_KIND, id as u32, r.iter));
         self.sim.set_token_scope(0);
     }
@@ -346,36 +606,32 @@ impl MultiJobSim {
         let iterations = self.cfg.workload.jobs[id].iterations;
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { return };
-        r.iter_secs.push((t - r.iter_start).as_secs_f64());
+        let last = (t - r.iter_start).as_secs_f64();
+        r.iter_secs.push(last);
+        job.best_iter = Some(job.best_iter.map_or(last, |b| b.min(last)));
+        job.ewma_iter =
+            Some(job.ewma_iter.map_or(last, |e| (1.0 - EWMA_ALPHA) * e + EWMA_ALPHA * last));
         if self.sim.tracing_enabled() {
             let name = format!("job{id} iter {}", r.iter);
             self.sim.trace_span_end(track::TRAINER, id as u64, &name, "iteration");
         }
         r.iter += 1;
         if (r.iter as usize) < iterations {
+            r.iter_start = t;
             self.begin_iteration(id);
+            self.run_straggler_detector();
             return;
         }
         // Job complete: tear down lingering flows so the fabric is clean for
         // the tenants that remain, free the gang, record the outcome.
         r.coll.cancel_all(&mut self.sim);
         r.placement.release(&mut self.free);
-        let spec = &self.cfg.workload.jobs[id];
-        let tag = Self::scope(id);
-        job.outcome = Some(JobOutcome {
-            id,
-            model: spec.model.clone(),
-            gpus: spec.gpus,
-            engine: spec.engine.label().to_string(),
-            arrival_secs: spec.arrival_secs,
-            start_secs: r.started_at.as_secs_f64(),
-            finish_secs: t.as_secs_f64(),
-            nodes_used: r.placement.node_count(),
-            iter_secs: std::mem::take(&mut r.iter_secs),
-            comm_bytes_delivered: self.sim.net().delivered_bytes_by_tag(tag),
-            comm_bytes_launched: self.sim.net().launched_bytes_by_tag(tag),
-        });
+        let start = r.started_at.as_secs_f64();
+        let nodes_used = r.placement.node_count();
+        let iter_secs = std::mem::take(&mut r.iter_secs);
         job.state = JobState::Done;
+        self.jobs[id].outcome =
+            Some(self.make_outcome(id, start, t.as_secs_f64(), nodes_used, iter_secs, false));
         if self.sim.tracing_enabled() {
             let name = format!("job{id} done");
             self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
@@ -383,33 +639,392 @@ impl MultiJobSim {
         self.dispatch_queue();
     }
 
+    /// Assembles a job's outcome, summing fabric bytes over every scope
+    /// (epoch) the job ran under.
+    fn make_outcome(
+        &self,
+        id: usize,
+        start_secs: f64,
+        finish_secs: f64,
+        nodes_used: usize,
+        iter_secs: Vec<f64>,
+        failed: bool,
+    ) -> JobOutcome {
+        let spec = &self.cfg.workload.jobs[id];
+        let j = &self.jobs[id];
+        let (delivered, launched) = j.scopes.iter().fold((0.0, 0.0), |(d, l), &s| {
+            (
+                d + self.sim.net().delivered_bytes_by_tag(s),
+                l + self.sim.net().launched_bytes_by_tag(s),
+            )
+        });
+        JobOutcome {
+            id,
+            model: spec.model.clone(),
+            gpus: spec.gpus,
+            engine: spec.engine.label().to_string(),
+            arrival_secs: spec.arrival_secs,
+            start_secs,
+            finish_secs,
+            nodes_used,
+            iter_secs,
+            comm_bytes_delivered: delivered,
+            comm_bytes_launched: launched,
+            crashes: j.crashes,
+            restarts: j.restarts,
+            shrinks: j.shrinks,
+            recovery_secs: j.recovery_secs,
+            mitigations: j.mitigations,
+            failed,
+        }
+    }
+
     /// FIFO dispatch with backfill: jobs are tried in arrival order, and a
-    /// blocked head does not starve smaller jobs behind it.
+    /// blocked head does not starve smaller jobs behind it. A queued job
+    /// that can never fit again — its gang exceeds the up-node capacity and
+    /// no repairs are pending — is failed deterministically instead of
+    /// stalling the scenario forever.
     fn dispatch_queue(&mut self) {
         let mut i = 0;
         while i < self.queue.len() {
             let id = self.queue[i];
             if self.try_start(id) {
                 self.queue.remove(i);
+            } else if self.pending_repairs == 0
+                && self.cfg.workload.jobs[id].gpus > self.up_capacity()
+            {
+                self.queue.remove(i);
+                self.fail_unplaced(id);
             } else {
                 i += 1;
             }
         }
     }
 
+    /// Fails a job that is waiting in the queue with no possible placement
+    /// left (permanent capacity loss).
+    fn fail_unplaced(&mut self, id: usize) {
+        let t = self.sim.now().as_secs_f64();
+        let state = std::mem::replace(&mut self.jobs[id].state, JobState::Done);
+        let (start, iter_secs) = match state {
+            JobState::Suspended(s) => (s.started_at.as_secs_f64(), s.iter_secs),
+            JobState::Pending => (t, Vec::new()),
+            _ => unreachable!("queued job neither pending nor suspended"),
+        };
+        self.jobs[id].outcome = Some(self.make_outcome(id, start, t, 0, iter_secs, true));
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} failed");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
+        }
+    }
+
+    /// Handles a node crash: quarantine the node's GPUs, then tear down and
+    /// recover (or fail) every gang with a member on it, in job-id order.
+    fn on_crash(&mut self, node: usize, t: SimTime) {
+        self.free.set_node_down(node);
+        if self.sim.tracing_enabled() {
+            let name = format!("crash n{node}");
+            self.sim.trace_instant(track::TRAINER, u64::MAX, &name, "fault", None);
+        }
+        for id in 0..self.jobs.len() {
+            let hit = match &self.jobs[id].state {
+                JobState::Running(r) => {
+                    r.placement.ranks.iter().any(|&g| self.cfg.cluster.node_of(g) == node)
+                }
+                _ => false,
+            };
+            if !hit {
+                continue;
+            }
+            self.jobs[id].crashes += 1;
+            let JobState::Running(mut r) =
+                std::mem::replace(&mut self.jobs[id].state, JobState::Pending)
+            else {
+                unreachable!()
+            };
+            r.coll.cancel_all(&mut self.sim);
+            if self.sim.tracing_enabled() {
+                // Close the open iteration span so traces stay balanced; the
+                // retry re-opens it under the same name.
+                let name = format!("job{id} iter {}", r.iter);
+                self.sim.trace_span_end(track::TRAINER, id as u64, &name, "iteration");
+            }
+            match self.cfg.recovery {
+                RecoveryPolicy::Fail => self.fail_running(id, r, t),
+                RecoveryPolicy::Restart => self.restart_job(id, r, t),
+                RecoveryPolicy::Shrink => self.shrink_job(id, r, node, t),
+            }
+        }
+        // Capacity released by restarted/failed gangs can admit queued jobs.
+        self.dispatch_queue();
+    }
+
+    /// Kills a running job at the crash instant ([`RecoveryPolicy::Fail`]).
+    fn fail_running(&mut self, id: usize, r: Box<RunningJob>, t: SimTime) {
+        r.placement.release(&mut self.free);
+        self.jobs[id].state = JobState::Done;
+        self.jobs[id].outcome = Some(self.make_outcome(
+            id,
+            r.started_at.as_secs_f64(),
+            t.as_secs_f64(),
+            r.placement.node_count(),
+            r.iter_secs,
+            true,
+        ));
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} failed");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
+        }
+    }
+
+    /// Checkpoint restart ([`RecoveryPolicy::Restart`]): release the whole
+    /// gang, pay the replayed restore pause, re-queue at the interrupted
+    /// iteration. The crashed iteration's eventual duration spans the lost
+    /// attempt, the pause and the re-run — the same accounting as the
+    /// single-job `TrainingSim`.
+    fn restart_job(&mut self, id: usize, mut r: Box<RunningJob>, t: SimTime) {
+        r.placement.release(&mut self.free);
+        let pause = replay_failure_recovery(
+            &r.placement.spec,
+            &self.jobs[id].model,
+            RecoveryConfig::default(),
+        )
+        .total_secs;
+        self.jobs[id].recovery_secs += pause;
+        self.jobs[id].restarts += 1;
+        self.jobs[id].epoch += 1;
+        self.jobs[id].state = JobState::Suspended(SavedProgress {
+            iter: r.iter,
+            iter_secs: std::mem::take(&mut r.iter_secs),
+            started_at: r.started_at,
+            iter_start: r.iter_start,
+        });
+        self.sim.schedule_at(
+            t + SimDuration::from_secs_f64(pause),
+            Token::new(REQUEUE_KIND, id as u32, 0),
+        );
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} checkpoint restore");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "recovery", Some(pause));
+        }
+    }
+
+    /// Elastic shrink ([`RecoveryPolicy::Shrink`]): survivors keep their
+    /// GPUs, the dead node's ranks are parked, the ring is rebuilt over the
+    /// shrunken subnet after a replayed membership-change pause. Falls back
+    /// to a full restart when the gang has no survivors.
+    fn shrink_job(&mut self, id: usize, mut r: Box<RunningJob>, node: usize, t: SimTime) {
+        let (dead, alive): (Vec<usize>, Vec<usize>) =
+            r.placement.ranks.iter().partition(|&&g| self.cfg.cluster.node_of(g) == node);
+        if alive.is_empty() {
+            self.restart_job(id, r, t);
+            return;
+        }
+        self.free.release(&dead);
+        // Removing one physical node from a regular gang leaves a regular
+        // gang: the per-logical-node counts stay `c, …, c, tail`.
+        let old = &r.placement.spec;
+        let counts: Vec<usize> = (0..old.nodes)
+            .filter(|&ln| {
+                self.cfg.cluster.node_of(r.placement.ranks[logical_base(old, ln)]) != node
+            })
+            .map(|ln| old.gpus_on_node(ln))
+            .collect();
+        let mut nodecfg = old.node.clone();
+        let survivor_spec = if counts.len() == 1 {
+            nodecfg.gpus_per_node = counts[0];
+            ClusterSpec::new(1, nodecfg)
+        } else {
+            let c = counts[0];
+            let tail = *counts.last().expect("non-empty");
+            nodecfg.gpus_per_node = c;
+            ClusterSpec::with_tail(counts.len(), nodecfg, if tail == c { 0 } else { tail })
+        };
+        debug_assert_eq!(survivor_spec.world_size(), alive.len());
+        let pause =
+            replay_elastic_join(&survivor_spec, &self.jobs[id].model, 1, RecoveryConfig::default())
+                .total_secs;
+        self.jobs[id].recovery_secs += pause;
+        self.jobs[id].shrinks += 1;
+        self.jobs[id].epoch += 1;
+        self.jobs[id].mitigated = false;
+        let model = self.jobs[id].model.clone();
+        let spec = &self.cfg.workload.jobs[id];
+        let engine = spec.engine.build(&model, survivor_spec.world_size());
+        let compute = ComputeModel::new(survivor_spec.node.gpu.clone());
+        let timing = compute.iteration_timing(&model, model.default_batch_per_gpu(), DType::F32);
+        let (streams_busy, streams_idle) = comm_stream_limits(&compute, &survivor_spec, &model);
+        let cluster = self.physical.subnet(survivor_spec.clone(), &alive);
+        self.jobs[id].state = JobState::Running(Box::new(RunningJob {
+            placement: Placement { spec: survivor_spec, ranks: alive },
+            cluster,
+            coll: CollectiveEngine::new(),
+            engine,
+            timing,
+            streams_busy,
+            streams_idle,
+            iter: r.iter,
+            busy_workers: 0,
+            last_bwd: t,
+            draining: true,
+            iter_start: r.iter_start,
+            started_at: r.started_at,
+            iter_secs: std::mem::take(&mut r.iter_secs),
+        }));
+        self.record_scope(id);
+        let scope = self.scope(id);
+        self.sim.set_token_scope(scope);
+        self.sim.schedule_at(
+            t + SimDuration::from_secs_f64(pause),
+            Token::new(RESUME_KIND, id as u32, 0),
+        );
+        self.sim.set_token_scope(0);
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} elastic shrink");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "recovery", Some(pause));
+        }
+    }
+
+    /// Handles a node repair: the node's parked GPUs return to the pool and
+    /// the queue gets another chance.
+    fn on_repair(&mut self, node: usize, t: SimTime) {
+        let _ = t;
+        self.free.set_node_up(node);
+        self.pending_repairs -= 1;
+        if self.sim.tracing_enabled() {
+            let name = format!("repair n{node}");
+            self.sim.trace_instant(track::TRAINER, u64::MAX, &name, "fault", None);
+        }
+        self.dispatch_queue();
+    }
+
+    /// The straggler detector: compare each running job's iteration-time
+    /// slowdown (EWMA over its own fastest iteration) to the cluster median
+    /// slowdown; flagged jobs get a synthetic NIC-health record so AIACC's
+    /// stream-pool scaling kicks in, lifted again once the job recovers.
+    fn run_straggler_detector(&mut self) {
+        let Some(threshold) = self.cfg.straggler_threshold else { return };
+        let mut slowdowns: Vec<(usize, f64)> = Vec::new();
+        for (id, j) in self.jobs.iter().enumerate() {
+            if !matches!(j.state, JobState::Running(_)) {
+                continue;
+            }
+            if let (Some(ewma), Some(best)) = (j.ewma_iter, j.best_iter) {
+                if best > 0.0 {
+                    slowdowns.push((id, ewma / best));
+                }
+            }
+        }
+        if slowdowns.len() < 2 {
+            return; // a lone job has no cluster to be slower than
+        }
+        let mut vals: Vec<f64> = slowdowns.iter().map(|&(_, s)| s).collect();
+        vals.sort_by(f64::total_cmp);
+        let median = vals[vals.len() / 2];
+        for (id, slowdown) in slowdowns {
+            let flagged = slowdown > threshold * median;
+            if flagged && !self.jobs[id].mitigated {
+                self.apply_mitigation(id, slowdown / median);
+            } else if !flagged && self.jobs[id].mitigated {
+                self.lift_mitigation(id);
+            }
+        }
+    }
+
+    /// Feeds a synthetic NIC-degradation record to job `id`'s engine: the
+    /// advertised capacity ratio is the inverse relative slowdown, floored
+    /// at [`MITIGATION_FLOOR`]. Only the engine's *belief* changes — the
+    /// physical fabric is untouched — which is exactly the NIC-health signal
+    /// AIACC's stream-pool scaling consumes.
+    fn apply_mitigation(&mut self, id: usize, rel_slowdown: f64) {
+        let scope = self.scope(id);
+        let base = self.cfg.cluster.node.nic.bytes_per_sec();
+        let scaled = base * (1.0 / rel_slowdown).clamp(MITIGATION_FLOOR, 1.0);
+        self.jobs[id].mitigated = true;
+        self.jobs[id].mitigations += 1;
+        self.jobs[id].mitigation_cap = scaled;
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { return };
+        let node = self.cfg.cluster.node_of(r.placement.ranks[0]);
+        let rec = FaultRecord {
+            resource: self.physical.node_tx_resource(node),
+            phase: FaultPhase::Applied,
+            capacity_before: base,
+            capacity_after: scaled,
+        };
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} straggler mitigation");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", Some(scaled / base));
+        }
+        self.sim.set_token_scope(scope);
+        let mut cx = DdlCtx {
+            sim: &mut self.sim,
+            coll: &mut r.coll,
+            cluster: &r.cluster,
+            max_streams_now: if r.busy_workers > 0 { r.streams_busy } else { r.streams_idle },
+        };
+        r.engine.on_fault(&mut cx, &rec);
+        self.sim.set_token_scope(0);
+    }
+
+    /// Restores the synthetic NIC health once the job's slowdown is back
+    /// under the threshold.
+    fn lift_mitigation(&mut self, id: usize) {
+        let scope = self.scope(id);
+        let base = self.cfg.cluster.node.nic.bytes_per_sec();
+        let scaled = self.jobs[id].mitigation_cap;
+        self.jobs[id].mitigated = false;
+        let job = &mut self.jobs[id];
+        let JobState::Running(r) = &mut job.state else { return };
+        let node = self.cfg.cluster.node_of(r.placement.ranks[0]);
+        let rec = FaultRecord {
+            resource: self.physical.node_tx_resource(node),
+            phase: FaultPhase::Restored,
+            capacity_before: scaled,
+            capacity_after: base,
+        };
+        if self.sim.tracing_enabled() {
+            let name = format!("job{id} mitigation lifted");
+            self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
+        }
+        self.sim.set_token_scope(scope);
+        let mut cx = DdlCtx {
+            sim: &mut self.sim,
+            coll: &mut r.coll,
+            cluster: &r.cluster,
+            max_streams_now: if r.busy_workers > 0 { r.streams_busy } else { r.streams_idle },
+        };
+        r.engine.on_fault(&mut cx, &rec);
+        self.sim.set_token_scope(0);
+    }
+
     /// Routes a scoped timer to its job, honoring the drain window exactly
     /// like `TrainingSim::drain_to` (stale events are dropped).
     fn on_job_timer(&mut self, id: usize, tok: Token, t: SimTime) {
-        if tok.base_kind() == BOUNDARY_KIND {
-            self.on_boundary(id, t);
-            return;
+        match tok.base_kind() {
+            BOUNDARY_KIND => {
+                self.on_boundary(id, t);
+                return;
+            }
+            RESUME_KIND => {
+                // The elastic-join pause is over: restart the interrupted
+                // iteration on the shrunken gang.
+                if self.sim.tracing_enabled() {
+                    let name = format!("job{id} resume");
+                    self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
+                }
+                self.begin_iteration(id);
+                return;
+            }
+            _ => {}
         }
+        let scope = self.scope(id);
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { return };
         if r.draining {
             return;
         }
-        self.sim.set_token_scope(Self::scope(id));
+        self.sim.set_token_scope(scope);
         match tok.base_kind() {
             GRAD_KIND => {
                 let mut cx = DdlCtx {
@@ -471,12 +1086,13 @@ impl MultiJobSim {
             }
         }
         let Some(id) = owner else { return };
+        let scope = self.scope(id);
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { unreachable!() };
         if r.draining {
             return;
         }
-        self.sim.set_token_scope(Self::scope(id));
+        self.sim.set_token_scope(scope);
         if let Some(op) = r.coll.on_flow_completed(&mut self.sim, f) {
             let mut cx = DdlCtx {
                 sim: &mut self.sim,
@@ -494,9 +1110,10 @@ impl MultiJobSim {
     /// already changed inside the shared net).
     fn on_fault(&mut self, rec: &FaultRecord, t: SimTime) {
         for id in 0..self.jobs.len() {
+            let scope = self.scope(id);
             let job = &mut self.jobs[id];
             let JobState::Running(r) = &mut job.state else { continue };
-            self.sim.set_token_scope(Self::scope(id));
+            self.sim.set_token_scope(scope);
             let mut cx = DdlCtx {
                 sim: &mut self.sim,
                 coll: &mut r.coll,
@@ -513,23 +1130,40 @@ impl MultiJobSim {
     ///
     /// # Panics
     /// Panics if the event queue drains while jobs are still pending — a
-    /// scheduler bug, since a finished job always re-dispatches the queue.
+    /// scheduler bug, since a finished job always re-dispatches the queue
+    /// and an impossible placement fails the job deterministically.
     fn run_loop(&mut self) {
         while !self.all_done() {
             let Some((t, ev)) = self.sim.next_event() else {
                 panic!("event queue drained with jobs unfinished (queue: {:?})", self.queue);
             };
             match ev {
-                Event::Timer(tok) if tok.scope() == 0 && tok.kind == ARRIVAL_KIND => {
-                    let id = tok.a as usize;
-                    if !self.try_start(id) {
-                        self.queue.push(id);
+                Event::Timer(tok) if tok.scope() == 0 => match tok.kind {
+                    ARRIVAL_KIND => {
+                        let id = tok.a as usize;
+                        if !self.try_start(id) {
+                            self.queue.push(id);
+                            self.dispatch_queue();
+                        }
+                    }
+                    CRASH_KIND => self.on_crash(tok.a as usize, t),
+                    REPAIR_KIND => self.on_repair(tok.a as usize, t),
+                    REQUEUE_KIND => {
+                        let id = tok.a as usize;
+                        if matches!(self.jobs[id].state, JobState::Suspended(_)) {
+                            self.queue.push(id);
+                            self.dispatch_queue();
+                        }
+                    }
+                    _ => {}
+                },
+                Event::Timer(tok) => {
+                    let (id, epoch) = self.decode_scope(tok.scope());
+                    // Events from an aborted epoch (pre-crash timers) die here.
+                    if epoch == self.jobs[id].epoch {
+                        self.on_job_timer(id, tok, t);
                     }
                 }
-                Event::Timer(tok) if tok.scope() > 0 => {
-                    self.on_job_timer(tok.scope() as usize - 1, tok, t);
-                }
-                Event::Timer(_) => {}
                 Event::FlowCompleted(f) => self.on_flow(f, t),
                 Event::Fault(rec) => self.on_fault(&rec, t),
             }
@@ -573,6 +1207,11 @@ impl MultiJobSim {
             fabric_utilization,
         }
     }
+}
+
+/// First logical rank hosted by logical node `ln` of `spec`.
+fn logical_base(spec: &ClusterSpec, ln: usize) -> usize {
+    (0..ln).map(|j| spec.gpus_on_node(j)).sum()
 }
 
 /// One-shot convenience: build and run a multi-job scenario.

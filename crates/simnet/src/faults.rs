@@ -76,7 +76,9 @@ pub enum FaultKind {
         factor: f64,
     },
     /// The target node crashes at the event's onset. Interpreted by the
-    /// training layer (checkpoint restart); the duration is ignored.
+    /// training layer (checkpoint restart). A `Some(duration)` means the
+    /// node is *repaired* — its capacity returns to the pool — at
+    /// `at + duration`; `None` means the node never comes back.
     Crash,
 }
 
@@ -209,13 +211,24 @@ impl FaultPlan {
         })
     }
 
-    /// Crashes node `node` at `at`.
+    /// Crashes node `node` at `at`; the node never comes back.
     pub fn crash_node(self, node: u32, at: SimTime) -> Self {
         self.with_event(FaultEvent {
             target: FaultTarget::Node(node),
             kind: FaultKind::Crash,
             at,
             duration: None,
+        })
+    }
+
+    /// Crashes node `node` at `at` and repairs it `repair_after` later,
+    /// returning its capacity to whoever tracks node liveness.
+    pub fn crash_node_for(self, node: u32, at: SimTime, repair_after: SimDuration) -> Self {
+        self.with_event(FaultEvent {
+            target: FaultTarget::Node(node),
+            kind: FaultKind::Crash,
+            at,
+            duration: Some(repair_after),
         })
     }
 
@@ -242,11 +255,58 @@ impl FaultPlan {
     /// and durations in `[0.05, 0.20]·horizon`. The same `(seed, links,
     /// horizon, count)` always yields the identical plan.
     pub fn randomized(seed: u64, links: &[ResourceId], horizon: SimDuration, count: usize) -> Self {
+        FaultPlan::randomized_mix(seed, links, &[], horizon, count, 0.0)
+    }
+
+    /// Like [`FaultPlan::randomized`], but a `node_fault_frac` fraction of
+    /// the events are *node* faults drawn from `nodes` — 60 % straggler
+    /// windows (compute 1.5–3× slower), 40 % crashes with a repair time —
+    /// so chaos sweeps exercise every [`FaultKind`]. With
+    /// `node_fault_frac == 0.0` the draw sequence (and therefore the plan)
+    /// is byte-identical to [`FaultPlan::randomized`].
+    ///
+    /// # Panics
+    /// Panics if `links` is empty, or if `node_fault_frac` is outside
+    /// `[0, 1]` or positive while `nodes` is empty.
+    pub fn randomized_mix(
+        seed: u64,
+        links: &[ResourceId],
+        nodes: &[u32],
+        horizon: SimDuration,
+        count: usize,
+        node_fault_frac: f64,
+    ) -> Self {
         assert!(!links.is_empty(), "randomized plan needs candidate links");
+        assert!(
+            (0.0..=1.0).contains(&node_fault_frac),
+            "node fault fraction must be in [0, 1]: {node_fault_frac}"
+        );
+        assert!(
+            node_fault_frac == 0.0 || !nodes.is_empty(),
+            "node faults requested but no candidate nodes given"
+        );
         let mut state = seed ^ 0xA1AC_C0DE_5EED_0001;
         let mut plan = FaultPlan::new();
         let horizon_ns = horizon.as_nanos() as f64;
         for _ in 0..count {
+            // The extra draw only happens when node faults are enabled, so
+            // the frac == 0.0 stream matches the legacy generator exactly.
+            if node_fault_frac > 0.0 && unit_f64(&mut state) < node_fault_frac {
+                let node = nodes[(splitmix64(&mut state) % nodes.len() as u64) as usize];
+                let at = SimTime::from_nanos((unit_f64(&mut state) * 0.8 * horizon_ns) as u64);
+                let dur = SimDuration::from_nanos(
+                    ((0.05 + 0.15 * unit_f64(&mut state)) * horizon_ns) as u64,
+                );
+                plan = if unit_f64(&mut state) < 0.6 {
+                    let factor = 1.5 + 1.5 * unit_f64(&mut state);
+                    plan.straggle_node(node, factor, at, Some(dur))
+                } else {
+                    // Repair takes twice the straggler window: crashes are
+                    // rarer and costlier than soft degradation.
+                    plan.crash_node_for(node, at, dur + dur)
+                };
+                continue;
+            }
             let link = links[(splitmix64(&mut state) % links.len() as u64) as usize];
             let at = SimTime::from_nanos((unit_f64(&mut state) * 0.8 * horizon_ns) as u64);
             let dur =
@@ -257,6 +317,62 @@ impl FaultPlan {
                 plan.degrade_link(link, factor, at, Some(dur))
             } else {
                 plan.flap_link(link, at, dur)
+            };
+        }
+        plan
+    }
+
+    /// A seeded, fully node-targeted chaos plan for cluster scenarios that
+    /// have no resource ids yet (the scheduler resolves node-targeted link
+    /// faults to each node's NICs via [`FaultPlan::resolve_links`]).
+    ///
+    /// The plan always contains at least one straggler window and one
+    /// crash-with-repair (so every chaos run exercises both recovery paths),
+    /// plus `count` extra mixed events: 30 % node faults (straggler or
+    /// crash, as in [`FaultPlan::randomized_mix`]) and 70 % NIC-level
+    /// degrades/flaps. The same `(seed, nodes, horizon, count)` always
+    /// yields the identical plan.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero.
+    pub fn chaos(seed: u64, nodes: usize, horizon: SimDuration, count: usize) -> Self {
+        assert!(nodes > 0, "chaos plan needs at least one node");
+        let mut state = seed ^ 0xA1AC_C0DE_C4A0_5001;
+        let horizon_ns = horizon.as_nanos() as f64;
+        let pick = |state: &mut u64| (splitmix64(state) % nodes as u64) as u32;
+        // Guaranteed straggler window in the first half of the horizon.
+        let s_node = pick(&mut state);
+        let s_factor = 1.5 + 1.5 * unit_f64(&mut state);
+        let s_at = SimTime::from_nanos(((0.1 + 0.2 * unit_f64(&mut state)) * horizon_ns) as u64);
+        let s_dur = SimDuration::from_nanos((0.25 * horizon_ns) as u64);
+        // Guaranteed crash, repaired after a fifth of the horizon.
+        let c_node = pick(&mut state);
+        let c_at = SimTime::from_nanos(((0.3 + 0.2 * unit_f64(&mut state)) * horizon_ns) as u64);
+        let c_repair = SimDuration::from_nanos((0.2 * horizon_ns) as u64);
+        let mut plan = FaultPlan::new()
+            .straggle_node(s_node, s_factor, s_at, Some(s_dur))
+            .crash_node_for(c_node, c_at, c_repair);
+        for _ in 0..count {
+            let node = pick(&mut state);
+            let at = SimTime::from_nanos((unit_f64(&mut state) * 0.8 * horizon_ns) as u64);
+            let dur =
+                SimDuration::from_nanos(((0.05 + 0.15 * unit_f64(&mut state)) * horizon_ns) as u64);
+            let draw = unit_f64(&mut state);
+            plan = if draw < 0.18 {
+                let factor = 1.5 + 1.5 * unit_f64(&mut state);
+                plan.straggle_node(node, factor, at, Some(dur))
+            } else if draw < 0.30 {
+                plan.crash_node_for(node, at, dur + dur)
+            } else if draw < 0.79 {
+                let factor = 0.2 + 0.7 * unit_f64(&mut state);
+                plan.degrade_node(node, factor, at, Some(dur))
+            } else {
+                plan.with_event(FaultEvent {
+                    target: FaultTarget::Node(node),
+                    kind: FaultKind::Flap,
+                    at,
+                    duration: Some(dur),
+                })
             };
         }
         plan
@@ -307,6 +423,22 @@ impl FaultPlan {
             })
             .collect();
         out.sort_by_key(|&(n, t)| (t, n));
+        out
+    }
+
+    /// Every scheduled crash as `(node, crash time, repair time)`, sorted by
+    /// `(crash time, node)`. A `None` repair time means the node never comes
+    /// back (see [`FaultKind::Crash`]).
+    pub fn crash_spans(&self) -> Vec<(u32, SimTime, Option<SimTime>)> {
+        let mut out: Vec<(u32, SimTime, Option<SimTime>)> = self
+            .events
+            .iter()
+            .filter_map(|ev| match (ev.target, ev.kind) {
+                (FaultTarget::Node(n), FaultKind::Crash) => Some((n, ev.at, ev.ends_at())),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|&(n, t, _)| (t, n));
         out
     }
 
@@ -474,6 +606,95 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.events().len(), 8);
+    }
+
+    #[test]
+    fn randomized_mix_zero_frac_matches_legacy_stream() {
+        let links = [ResourceId::from_index(0), ResourceId::from_index(1)];
+        let legacy = FaultPlan::randomized(7, &links, SimDuration::from_secs_f64(20.0), 12);
+        let mixed = FaultPlan::randomized_mix(
+            7,
+            &links,
+            &[0, 1, 2],
+            SimDuration::from_secs_f64(20.0),
+            12,
+            0.0,
+        );
+        assert_eq!(legacy, mixed, "frac=0 must not perturb the draw sequence");
+    }
+
+    #[test]
+    fn randomized_mix_covers_every_fault_kind() {
+        let links = [ResourceId::from_index(0), ResourceId::from_index(1)];
+        let plan = FaultPlan::randomized_mix(
+            11,
+            &links,
+            &[0, 1, 2, 3],
+            SimDuration::from_secs_f64(30.0),
+            64,
+            0.5,
+        );
+        let plan2 = FaultPlan::randomized_mix(
+            11,
+            &links,
+            &[0, 1, 2, 3],
+            SimDuration::from_secs_f64(30.0),
+            64,
+            0.5,
+        );
+        assert_eq!(plan, plan2, "mixed plan must be seed-deterministic");
+        assert_eq!(plan.events().len(), 64);
+        let has = |pred: &dyn Fn(&FaultEvent) -> bool| plan.events().iter().any(pred);
+        assert!(has(&|e| matches!(e.kind, FaultKind::Degrade { .. })), "no degrade");
+        assert!(has(&|e| matches!(e.kind, FaultKind::Flap)), "no flap");
+        assert!(has(&|e| matches!(e.kind, FaultKind::Straggler { .. })), "no straggler");
+        assert!(has(&|e| matches!(e.kind, FaultKind::Crash)), "no crash");
+        // Mixed-in crashes always carry a repair time.
+        for (_, at, repair) in plan.crash_spans() {
+            let r = repair.expect("randomized_mix crashes are always repaired");
+            assert!(r > at);
+        }
+    }
+
+    #[test]
+    fn crash_spans_report_repair_instants() {
+        let plan = FaultPlan::new().crash_node(2, SimTime::from_nanos(50)).crash_node_for(
+            1,
+            SimTime::from_nanos(10),
+            SimDuration::from_nanos(30),
+        );
+        assert_eq!(
+            plan.crash_spans(),
+            vec![
+                (1, SimTime::from_nanos(10), Some(SimTime::from_nanos(40))),
+                (2, SimTime::from_nanos(50), None),
+            ]
+        );
+        // crash_times stays repair-agnostic.
+        assert_eq!(
+            plan.crash_times(),
+            vec![(1, SimTime::from_nanos(10)), (2, SimTime::from_nanos(50))]
+        );
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_always_has_crash_and_straggler() {
+        let h = SimDuration::from_secs_f64(40.0);
+        let a = FaultPlan::chaos(7, 4, h, 6);
+        let b = FaultPlan::chaos(7, 4, h, 6);
+        assert_eq!(a.events(), b.events(), "same inputs must yield the same plan");
+        assert_ne!(a.events(), FaultPlan::chaos(8, 4, h, 6).events());
+        for plan in [FaultPlan::chaos(7, 4, h, 0), a] {
+            let spans = plan.crash_spans();
+            assert!(!spans.is_empty(), "chaos plan must contain a crash");
+            assert!(spans.iter().any(|&(_, _, repair)| repair.is_some()), "and a repaired one");
+            assert!(
+                plan.events().iter().any(|ev| matches!(ev.kind, FaultKind::Straggler { .. })),
+                "chaos plan must contain a straggler window"
+            );
+            // Every target is a node: the plan needs no resource ids.
+            assert!(plan.events().iter().all(|ev| matches!(ev.target, FaultTarget::Node(_))));
+        }
     }
 
     #[test]

@@ -177,6 +177,10 @@ struct SchedArgs {
     save: Option<String>,
     trace: Option<String>,
     jobs: Option<usize>,
+    chaos: bool,
+    chaos_events: usize,
+    chaos_horizon_secs: f64,
+    recovery: String,
 }
 
 fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
@@ -193,6 +197,10 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
         save: None,
         trace: None,
         jobs: None,
+        chaos: false,
+        chaos_events: 4,
+        chaos_horizon_secs: 40.0,
+        recovery: "restart".to_string(),
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -223,11 +231,23 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
                 }
                 args.jobs = Some(n);
             }
+            "--chaos" => args.chaos = true,
+            "--chaos-events" => {
+                args.chaos_events =
+                    value(&mut i)?.parse().map_err(|e| format!("--chaos-events: {e}"))?
+            }
+            "--chaos-horizon" => {
+                args.chaos_horizon_secs =
+                    value(&mut i)?.parse().map_err(|e| format!("--chaos-horizon: {e}"))?
+            }
+            "--recovery" => args.recovery = value(&mut i)?,
             "--help" | "-h" => {
                 return Err("usage: aiacc-sim schedule [--policy packed|spread|topo|all] \
                             [--njobs N] [--seed S] [--gpus N] [--engine E] \
                             [--mix comm-heavy|mixed|tiny] [--iters N] [--rdma] \
-                            [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json] [--jobs N]"
+                            [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json] [--jobs N] \
+                            [--chaos] [--chaos-events N] [--chaos-horizon SECS] \
+                            [--recovery restart|shrink|fail]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try schedule --help)")),
@@ -242,11 +262,12 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
 /// equal runs are byte-for-byte equal regardless of `--jobs`.
 fn sched_render(report: &aiacc::sched::MultiJobReport) -> String {
     let mut out = String::from(
-        "id\tmodel\tgpus\tengine\tarrival_s\tstart_s\tfinish_s\tjct_s\tqueue_s\tnodes\tmean_iter_s\n",
+        "id\tmodel\tgpus\tengine\tarrival_s\tstart_s\tfinish_s\tjct_s\tqueue_s\tnodes\tmean_iter_s\
+         \tcrashes\trestarts\tshrinks\trecovery_s\tmitigations\tfailed\n",
     );
     for j in &report.jobs {
         out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{}\t{:.9}\n",
+            "{}\t{}\t{}\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{}\t{:.9}\t{}\t{}\t{}\t{:.9}\t{}\t{}\n",
             j.id,
             j.model,
             j.gpus,
@@ -258,6 +279,12 @@ fn sched_render(report: &aiacc::sched::MultiJobReport) -> String {
             j.queue_delay_secs(),
             j.nodes_used,
             j.mean_iter_secs(),
+            j.crashes,
+            j.restarts,
+            j.shrinks,
+            j.recovery_secs,
+            j.mitigations,
+            j.failed as u8,
         ));
     }
     let m = aiacc::sched::summarize(report);
@@ -278,7 +305,10 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
     } else {
         ClusterSpec::tcp_v100(args.gpus)
     };
-    let workload = match &args.load {
+    let recovery = aiacc::sched::RecoveryPolicy::by_name(&args.recovery).ok_or_else(|| {
+        format!("unknown recovery policy {}; use restart|shrink|fail", args.recovery)
+    })?;
+    let mut workload = match &args.load {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -300,6 +330,32 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
             Workload::generate(&cfg)
         }
     };
+    let chaos_plan = if args.chaos {
+        let plan = FaultPlan::chaos(
+            args.seed,
+            cluster.nodes,
+            SimDuration::from_secs_f64(args.chaos_horizon_secs),
+            args.chaos_events,
+        );
+        // Crashed collectives can wedge a stream: arm AIACC's stall watchdog
+        // with a bounded resubmission budget so retries back off instead of
+        // thrashing.
+        for j in &mut workload.jobs {
+            if let aiacc::trainer::EngineKind::Aiacc(c) = &mut j.engine {
+                *c =
+                    c.with_stall_timeout(SimDuration::from_secs_f64(0.5)).with_max_resubmissions(4);
+            }
+        }
+        eprintln!(
+            "[aiacc-sim] chaos plan (seed {}): {} event(s), recovery `{}`",
+            args.seed,
+            plan.events().len(),
+            recovery.name()
+        );
+        Some(plan)
+    } else {
+        None
+    };
     if let Some(path) = &args.save {
         std::fs::write(path, workload.to_tsv()).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("[aiacc-sim] workload trace saved to {path}");
@@ -314,8 +370,14 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
     // scenario's event loop stays single-threaded, so output is
     // bit-identical for any worker count.
     let blocks = aiacc::simnet::par::map(&policies, |&policy| {
-        let cfg = MultiJobCfg::new(cluster.clone(), policy, workload.clone())
+        let mut cfg = MultiJobCfg::new(cluster.clone(), policy, workload.clone())
+            .with_recovery(recovery)
             .with_trace(args.trace.is_some());
+        if let Some(plan) = &chaos_plan {
+            // Chaos also arms the straggler detector: jobs 30 % slower than
+            // the cluster-median slowdown get the NIC-health mitigation.
+            cfg = cfg.with_faults(plan.clone()).with_straggler_mitigation(1.3);
+        }
         if args.trace.is_some() {
             let (report, json) = MultiJobSim::new(cfg).run_with_trace();
             (sched_render(&report), json)
