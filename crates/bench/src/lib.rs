@@ -13,6 +13,7 @@ mod exp_chaos;
 mod exp_further;
 mod exp_multijob;
 mod exp_overall;
+mod exp_stream;
 mod exp_tuning;
 mod report;
 
@@ -25,6 +26,10 @@ pub use exp_further::{
 };
 pub use exp_multijob::{fig_multijob, MULTIJOB_QUICK_SWEEP, MULTIJOB_SWEEP};
 pub use exp_overall::{fig10_nlp, fig11_tensorflow, fig12_mxnet, fig2_motivation, fig9_cv};
+pub use exp_stream::{
+    fig_stream, saturated_points, scale_point, steady_throughput, StreamPoint,
+    STREAM_SATURATED_JOBS, STREAM_SATURATED_QUICK_JOBS, STREAM_SCALE_JOBS, STREAM_SCALE_QUICK_JOBS,
+};
 pub use exp_tuning::{
     ablation_byteps_servers, ablation_flow_cap, ablation_granularity, ablation_meta_solver,
     ablation_sync_scheme, ablation_tree_vs_ring, tuning_report,

@@ -46,6 +46,13 @@ pub enum SchedError {
         /// Number of nodes in the cluster.
         nodes: usize,
     },
+    /// A streaming-replay error: bad arrival config, malformed trace line,
+    /// snapshot I/O failure, or a snapshot that does not match the run
+    /// configuration.
+    Stream {
+        /// Human-readable description.
+        msg: String,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -65,6 +72,7 @@ impl fmt::Display for SchedError {
             SchedError::FaultNodeOutOfRange { node, nodes } => {
                 write!(f, "fault plan targets node {node}, cluster has {nodes} nodes")
             }
+            SchedError::Stream { msg } => write!(f, "streaming replay: {msg}"),
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod error;
 pub mod metrics;
 pub mod multijob;
 pub mod placement;
+pub mod stream;
 pub mod workload;
 
 pub use error::SchedError;
@@ -48,4 +49,8 @@ pub use multijob::{
     run_multijob, JobOutcome, MultiJobCfg, MultiJobReport, MultiJobSim, RecoveryPolicy,
 };
 pub use placement::{try_place, PlacePolicy, Placement};
+pub use stream::{
+    run_stream, window_tsv_header, ArrivalCfg, ArrivalProcess, StreamCfg, StreamReport, StreamSim,
+    StreamStats,
+};
 pub use workload::{engine_by_label, JobMix, JobSpec, Workload, WorkloadCfg};

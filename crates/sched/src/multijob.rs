@@ -36,7 +36,8 @@
 
 use crate::error::SchedError;
 use crate::placement::{try_place, PlacePolicy, Placement};
-use crate::workload::Workload;
+use crate::stream::StreamState;
+use crate::workload::{JobSpec, Workload};
 use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel, GpuFreeList, IterationTiming};
 use aiacc_collectives::CollectiveEngine;
 use aiacc_core::ddl::{DdlCtx, DdlEngine, ENGINE_TIMER_KIND};
@@ -52,16 +53,16 @@ use aiacc_trainer::{
 };
 
 /// Unscoped timer kind announcing a job arrival (`a` = job id).
-const ARRIVAL_KIND: u32 = 10;
+pub(crate) const ARRIVAL_KIND: u32 = 10;
 /// Scoped timer kind marking a job's iteration boundary (`b` = iteration).
 const BOUNDARY_KIND: u32 = 11;
 /// Unscoped timer kind for a node crash (`a` = node).
-const CRASH_KIND: u32 = 12;
+pub(crate) const CRASH_KIND: u32 = 12;
 /// Unscoped timer kind for a node repair (`a` = node).
-const REPAIR_KIND: u32 = 13;
+pub(crate) const REPAIR_KIND: u32 = 13;
 /// Unscoped timer kind re-queueing a restarted job after its checkpoint
 /// restore completes (`a` = job id).
-const REQUEUE_KIND: u32 = 14;
+pub(crate) const REQUEUE_KIND: u32 = 14;
 /// Scoped timer kind resuming a shrunken gang after its elastic-join pause.
 const RESUME_KIND: u32 = 15;
 
@@ -252,6 +253,38 @@ impl JobOutcome {
         }
         self.iter_secs.iter().sum::<f64>() / self.iter_secs.len() as f64
     }
+
+    /// The TSV header matching [`JobOutcome::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "id\tmodel\tgpus\tengine\tarrival_s\tstart_s\tfinish_s\tjct_s\tqueue_s\tnodes\tmean_iter_s\
+         \tcrashes\trestarts\tshrinks\trecovery_s\tmitigations\tfailed"
+    }
+
+    /// One deterministic TSV row (fixed 9-digit float precision, no trailing
+    /// newline) — shared by the batch `schedule` renderer and the streaming
+    /// per-job output, so the two paths are directly diffable.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{}\t{:.9}\t{}\t{}\t{}\t{:.9}\t{}\t{}",
+            self.id,
+            self.model,
+            self.gpus,
+            self.engine,
+            self.arrival_secs,
+            self.start_secs,
+            self.finish_secs,
+            self.jct_secs(),
+            self.queue_delay_secs(),
+            self.nodes_used,
+            self.mean_iter_secs(),
+            self.crashes,
+            self.restarts,
+            self.shrinks,
+            self.recovery_secs,
+            self.mitigations,
+            self.failed as u8,
+        )
+    }
 }
 
 /// Result of one multi-job scenario.
@@ -269,7 +302,7 @@ pub struct MultiJobReport {
 
 /// One running job's iteration state (the fields `TrainingSim` keeps between
 /// events, per job).
-struct RunningJob {
+pub(crate) struct RunningJob {
     placement: Placement,
     cluster: ClusterNet,
     coll: CollectiveEngine,
@@ -287,14 +320,17 @@ struct RunningJob {
 }
 
 /// Iteration progress preserved while a crashed job waits to be re-placed.
-struct SavedProgress {
+pub(crate) struct SavedProgress {
     iter: u64,
     iter_secs: Vec<f64>,
     started_at: SimTime,
     iter_start: SimTime,
 }
 
-enum JobState {
+pub(crate) enum JobState {
+    /// Streaming only: the slot holds no job (its `spec`/`model` are
+    /// placeholders). Batch scenarios never enter this state.
+    Vacant,
     /// Not yet arrived, or arrived and waiting in the queue.
     Pending,
     Running(Box<RunningJob>),
@@ -304,34 +340,39 @@ enum JobState {
     Done,
 }
 
-struct JobRun {
-    model: ModelProfile,
-    state: JobState,
-    outcome: Option<JobOutcome>,
-    /// Bumped on every crash recovery; events stamped with a stale epoch are
-    /// dropped on delivery.
-    epoch: u32,
+pub(crate) struct JobRun {
+    /// The job currently occupying this entry. In batch mode the entry index
+    /// *is* the job id; in streaming mode entries are slots that successive
+    /// jobs move through and `spec.id` carries the global id.
+    pub(crate) spec: JobSpec,
+    pub(crate) model: ModelProfile,
+    pub(crate) state: JobState,
+    pub(crate) outcome: Option<JobOutcome>,
+    /// Bumped on every crash recovery (and, in streaming mode, on every slot
+    /// reuse); events stamped with a stale epoch are dropped on delivery.
+    pub(crate) epoch: u32,
     /// Every token scope this job has used (one per epoch), for byte
     /// accounting across restarts.
-    scopes: Vec<u32>,
-    crashes: u32,
-    restarts: u32,
-    shrinks: u32,
-    recovery_secs: f64,
-    mitigations: u32,
+    pub(crate) scopes: Vec<u32>,
+    pub(crate) crashes: u32,
+    pub(crate) restarts: u32,
+    pub(crate) shrinks: u32,
+    pub(crate) recovery_secs: f64,
+    pub(crate) mitigations: u32,
     /// EWMA of iteration seconds (straggler detector).
-    ewma_iter: Option<f64>,
+    pub(crate) ewma_iter: Option<f64>,
     /// Fastest iteration seen so far (the job's own healthy baseline).
-    best_iter: Option<f64>,
+    pub(crate) best_iter: Option<f64>,
     /// Whether a synthetic NIC-health mitigation is currently applied.
-    mitigated: bool,
+    pub(crate) mitigated: bool,
     /// Capacity the active mitigation advertised (for the restore record).
-    mitigation_cap: f64,
+    pub(crate) mitigation_cap: f64,
 }
 
 impl JobRun {
-    fn new(model: ModelProfile) -> Self {
+    fn new(model: ModelProfile, spec: JobSpec) -> Self {
         JobRun {
+            spec,
             model,
             state: JobState::Pending,
             outcome: None,
@@ -348,21 +389,65 @@ impl JobRun {
             mitigation_cap: 0.0,
         }
     }
+
+    /// An empty streaming slot (placeholder spec/model, never read while
+    /// vacant).
+    pub(crate) fn vacant() -> Self {
+        let spec = JobSpec {
+            id: 0,
+            arrival_secs: 0.0,
+            model: "tiny_cnn".to_string(),
+            gpus: 1,
+            engine: aiacc_trainer::EngineKind::aiacc_default(),
+            iterations: 1,
+            seed: 0,
+        };
+        let model = zoo::by_name("tiny_cnn").expect("tiny_cnn in zoo");
+        let mut run = JobRun::new(model, spec);
+        run.state = JobState::Vacant;
+        run
+    }
+
+    /// Re-arms a vacant streaming slot for its next tenant: installs the
+    /// spec/model, clears all per-job accounting, and keeps `epoch` (the
+    /// slot's generation counter, bumped when the previous tenant left).
+    pub(crate) fn install(&mut self, model: ModelProfile, spec: JobSpec) {
+        debug_assert!(matches!(self.state, JobState::Vacant), "installing into occupied slot");
+        self.spec = spec;
+        self.model = model;
+        self.state = JobState::Pending;
+        self.outcome = None;
+        self.scopes.clear();
+        self.crashes = 0;
+        self.restarts = 0;
+        self.shrinks = 0;
+        self.recovery_secs = 0.0;
+        self.mitigations = 0;
+        self.ewma_iter = None;
+        self.best_iter = None;
+        self.mitigated = false;
+        self.mitigation_cap = 0.0;
+    }
 }
 
 /// The multi-job scheduler/simulator.
 pub struct MultiJobSim {
-    cfg: MultiJobCfg,
-    sim: Simulator,
-    physical: ClusterNet,
-    free: GpuFreeList,
-    faults: FaultPlan,
-    jobs: Vec<JobRun>,
-    /// FIFO queue of arrived-but-unplaced job ids.
-    queue: Vec<usize>,
+    pub(crate) cfg: MultiJobCfg,
+    pub(crate) sim: Simulator,
+    pub(crate) physical: ClusterNet,
+    pub(crate) free: GpuFreeList,
+    pub(crate) faults: FaultPlan,
+    pub(crate) jobs: Vec<JobRun>,
+    /// FIFO queue of arrived-but-unplaced job ids (batch mode; streaming
+    /// keeps its own queue of slots and not-yet-admitted specs).
+    pub(crate) queue: Vec<usize>,
     /// Repair events still scheduled to fire; while any remain, an
     /// unplaceable job keeps waiting instead of being declared impossible.
-    pending_repairs: usize,
+    pub(crate) pending_repairs: usize,
+    /// `Some` puts the driver in streaming mode: `jobs` become recycled
+    /// slots, arrivals come from an open-loop source, and finished jobs fold
+    /// into windowed metrics instead of accumulating outcomes.
+    pub(crate) stream: Option<Box<StreamState>>,
 }
 
 impl MultiJobSim {
@@ -413,7 +498,7 @@ impl MultiJobSim {
                 SimTime::from_secs_f64(j.arrival_secs),
                 Token::new(ARRIVAL_KIND, i as u32, 0),
             );
-            jobs.push(JobRun::new(model));
+            jobs.push(JobRun::new(model, j.clone()));
         }
         let mut pending_repairs = 0;
         for (node, at, repair) in faults.crash_spans() {
@@ -432,6 +517,7 @@ impl MultiJobSim {
             jobs,
             queue: Vec::new(),
             pending_repairs,
+            stream: None,
         })
     }
 
@@ -448,8 +534,20 @@ impl MultiJobSim {
     /// epoch: `1 + id + epoch·njobs`. Epoch 0 reduces to `id + 1` (scope 0
     /// stays reserved for scheduler-level events), so fault-free scenarios
     /// produce exactly the pre-crash-support event stream.
-    fn scope(&self, id: usize) -> u32 {
-        let s = 1 + id + self.jobs[id].epoch as usize * self.jobs.len();
+    ///
+    /// Streaming mode reuses the 16-bit scope space forever by folding the
+    /// slot's generation counter modulo [`StreamState::gen_mod`]:
+    /// `1 + slot + (epoch mod gen_mod)·nslots`. Stale events from an old
+    /// generation are dropped on delivery by the same epoch comparison, and
+    /// per-tag byte accounting is re-zeroed on reuse (see
+    /// [`MultiJobSim::record_scope`]).
+    pub(crate) fn scope(&self, id: usize) -> u32 {
+        let njobs = self.jobs.len();
+        let epoch = self.jobs[id].epoch as usize;
+        if let Some(st) = &self.stream {
+            return (1 + id + (epoch % st.gen_mod as usize) * njobs) as u32;
+        }
+        let s = 1 + id + epoch * njobs;
         assert!(
             s <= 0xFFFF,
             "job {id} epoch {} overflows the token scope space",
@@ -458,16 +556,34 @@ impl MultiJobSim {
         s as u32
     }
 
-    /// Inverts [`MultiJobSim::scope`]: `(job id, epoch)`.
-    fn decode_scope(&self, scope: u32) -> (usize, u32) {
+    /// Inverts [`MultiJobSim::scope`]: `(job id, epoch mod gen_mod)` — in
+    /// batch mode `gen_mod` is effectively infinite and the second component
+    /// is the epoch itself.
+    pub(crate) fn decode_scope(&self, scope: u32) -> (usize, u32) {
         let v = scope as usize - 1;
         (v % self.jobs.len(), (v / self.jobs.len()) as u32)
     }
 
-    /// Records the job's current scope for byte accounting.
+    /// Whether an event stamped with `scope_epoch` (the epoch component of a
+    /// decoded scope) belongs to job `id`'s *current* epoch.
+    pub(crate) fn epoch_live(&self, id: usize, scope_epoch: u32) -> bool {
+        match &self.stream {
+            Some(st) => scope_epoch == self.jobs[id].epoch % st.gen_mod,
+            None => scope_epoch == self.jobs[id].epoch,
+        }
+    }
+
+    /// Records the job's current scope for byte accounting. In streaming
+    /// mode the tag's fabric accumulators are re-zeroed first, so a recycled
+    /// tag starts counting from exactly `0.0` for its new owner (this also
+    /// makes snapshot-resumed runs — whose fresh network starts all tags at
+    /// zero — bit-identical to uninterrupted ones).
     fn record_scope(&mut self, id: usize) {
         let s = self.scope(id);
         if !self.jobs[id].scopes.contains(&s) {
+            if self.stream.is_some() {
+                self.sim.net_mut().reset_bytes_by_tag(s);
+            }
             self.jobs[id].scopes.push(s);
         }
     }
@@ -477,7 +593,7 @@ impl MultiJobSim {
     }
 
     /// Total GPUs on nodes that are currently up (free or occupied).
-    fn up_capacity(&self) -> usize {
+    pub(crate) fn up_capacity(&self) -> usize {
         (0..self.cfg.cluster.nodes)
             .filter(|&n| !self.free.node_is_down(n))
             .map(|n| self.cfg.cluster.gpus_on_node(n))
@@ -486,14 +602,14 @@ impl MultiJobSim {
 
     /// Tries to place job `id` right now; on success starts (or resumes) its
     /// first pending iteration.
-    fn try_start(&mut self, id: usize) -> bool {
-        let spec = &self.cfg.workload.jobs[id];
-        let Some(placement) = try_place(self.cfg.policy, spec.gpus, &self.free) else {
+    pub(crate) fn try_start(&mut self, id: usize) -> bool {
+        let gpus = self.jobs[id].spec.gpus;
+        let Some(placement) = try_place(self.cfg.policy, gpus, &self.free) else {
             return false;
         };
         placement.commit(&mut self.free);
         let model = self.jobs[id].model.clone();
-        let engine = spec.engine.build(&model, placement.spec.world_size());
+        let engine = self.jobs[id].spec.engine.build(&model, placement.spec.world_size());
         let compute = ComputeModel::new(placement.spec.node.gpu.clone());
         let batch = model.default_batch_per_gpu();
         let timing = compute.iteration_timing(&model, batch, DType::F32);
@@ -542,7 +658,7 @@ impl MultiJobSim {
     /// token scope so every timer and flow is stamped with its owner.
     fn begin_iteration(&mut self, id: usize) {
         let scope = self.scope(id);
-        let spec = &self.cfg.workload.jobs[id];
+        let seed = self.jobs[id].spec.seed;
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { unreachable!("job not running") };
         let now = self.sim.now();
@@ -559,7 +675,7 @@ impl MultiJobSim {
         }
         let attempt = ComputeAttempt {
             world,
-            seed: spec.seed,
+            seed,
             jitter_frac: self.cfg.jitter_frac,
             framework: self.cfg.framework,
             timing: &r.timing,
@@ -603,7 +719,7 @@ impl MultiJobSim {
     /// start the next iteration or complete the job and re-dispatch the
     /// queue.
     fn on_boundary(&mut self, id: usize, t: SimTime) {
-        let iterations = self.cfg.workload.jobs[id].iterations;
+        let iterations = self.jobs[id].spec.iterations;
         let job = &mut self.jobs[id];
         let JobState::Running(r) = &mut job.state else { return };
         let last = (t - r.iter_start).as_secs_f64();
@@ -630,8 +746,8 @@ impl MultiJobSim {
         let nodes_used = r.placement.node_count();
         let iter_secs = std::mem::take(&mut r.iter_secs);
         job.state = JobState::Done;
-        self.jobs[id].outcome =
-            Some(self.make_outcome(id, start, t.as_secs_f64(), nodes_used, iter_secs, false));
+        let out = self.make_outcome(id, start, t.as_secs_f64(), nodes_used, iter_secs, false);
+        self.finish_job(id, out);
         if self.sim.tracing_enabled() {
             let name = format!("job{id} done");
             self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
@@ -639,9 +755,20 @@ impl MultiJobSim {
         self.dispatch_queue();
     }
 
+    /// Terminal accounting for a finished (completed or failed) job. Batch
+    /// mode stores the outcome for the final report; streaming mode folds it
+    /// into the windowed metrics and recycles the slot.
+    fn finish_job(&mut self, id: usize, out: JobOutcome) {
+        if self.stream.is_some() {
+            crate::stream::fold_finished(self, id, out);
+        } else {
+            self.jobs[id].outcome = Some(out);
+        }
+    }
+
     /// Assembles a job's outcome, summing fabric bytes over every scope
     /// (epoch) the job ran under.
-    fn make_outcome(
+    pub(crate) fn make_outcome(
         &self,
         id: usize,
         start_secs: f64,
@@ -650,8 +777,8 @@ impl MultiJobSim {
         iter_secs: Vec<f64>,
         failed: bool,
     ) -> JobOutcome {
-        let spec = &self.cfg.workload.jobs[id];
         let j = &self.jobs[id];
+        let spec = &j.spec;
         let (delivered, launched) = j.scopes.iter().fold((0.0, 0.0), |(d, l), &s| {
             (
                 d + self.sim.net().delivered_bytes_by_tag(s),
@@ -659,7 +786,7 @@ impl MultiJobSim {
             )
         });
         JobOutcome {
-            id,
+            id: spec.id,
             model: spec.model.clone(),
             gpus: spec.gpus,
             engine: spec.engine.label().to_string(),
@@ -685,14 +812,15 @@ impl MultiJobSim {
     /// no repairs are pending — is failed deterministically instead of
     /// stalling the scenario forever.
     fn dispatch_queue(&mut self) {
+        if self.stream.is_some() {
+            return crate::stream::dispatch(self);
+        }
         let mut i = 0;
         while i < self.queue.len() {
             let id = self.queue[i];
             if self.try_start(id) {
                 self.queue.remove(i);
-            } else if self.pending_repairs == 0
-                && self.cfg.workload.jobs[id].gpus > self.up_capacity()
-            {
+            } else if self.pending_repairs == 0 && self.jobs[id].spec.gpus > self.up_capacity() {
                 self.queue.remove(i);
                 self.fail_unplaced(id);
             } else {
@@ -703,7 +831,7 @@ impl MultiJobSim {
 
     /// Fails a job that is waiting in the queue with no possible placement
     /// left (permanent capacity loss).
-    fn fail_unplaced(&mut self, id: usize) {
+    pub(crate) fn fail_unplaced(&mut self, id: usize) {
         let t = self.sim.now().as_secs_f64();
         let state = std::mem::replace(&mut self.jobs[id].state, JobState::Done);
         let (start, iter_secs) = match state {
@@ -711,7 +839,8 @@ impl MultiJobSim {
             JobState::Pending => (t, Vec::new()),
             _ => unreachable!("queued job neither pending nor suspended"),
         };
-        self.jobs[id].outcome = Some(self.make_outcome(id, start, t, 0, iter_secs, true));
+        let out = self.make_outcome(id, start, t, 0, iter_secs, true);
+        self.finish_job(id, out);
         if self.sim.tracing_enabled() {
             let name = format!("job{id} failed");
             self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
@@ -720,7 +849,7 @@ impl MultiJobSim {
 
     /// Handles a node crash: quarantine the node's GPUs, then tear down and
     /// recover (or fail) every gang with a member on it, in job-id order.
-    fn on_crash(&mut self, node: usize, t: SimTime) {
+    pub(crate) fn on_crash(&mut self, node: usize, t: SimTime) {
         self.free.set_node_down(node);
         if self.sim.tracing_enabled() {
             let name = format!("crash n{node}");
@@ -763,14 +892,15 @@ impl MultiJobSim {
     fn fail_running(&mut self, id: usize, r: Box<RunningJob>, t: SimTime) {
         r.placement.release(&mut self.free);
         self.jobs[id].state = JobState::Done;
-        self.jobs[id].outcome = Some(self.make_outcome(
+        let out = self.make_outcome(
             id,
             r.started_at.as_secs_f64(),
             t.as_secs_f64(),
             r.placement.node_count(),
             r.iter_secs,
             true,
-        ));
+        );
+        self.finish_job(id, out);
         if self.sim.tracing_enabled() {
             let name = format!("job{id} failed");
             self.sim.trace_instant(track::TRAINER, id as u64, &name, "sched", None);
@@ -799,9 +929,17 @@ impl MultiJobSim {
             started_at: r.started_at,
             iter_start: r.iter_start,
         });
+        // Streaming stamps the slot's (bumped) generation into the token so
+        // a re-queue meant for this tenant cannot resume a later tenant that
+        // happens to be suspended in the same slot when it fires. Batch job
+        // ids are never reused, so the guard stays trivially 0 there.
+        let gen = match &self.stream {
+            Some(st) => self.jobs[id].epoch % st.gen_mod,
+            None => 0,
+        };
         self.sim.schedule_at(
             t + SimDuration::from_secs_f64(pause),
-            Token::new(REQUEUE_KIND, id as u32, 0),
+            Token::new(REQUEUE_KIND, id as u32, gen as u64),
         );
         if self.sim.tracing_enabled() {
             let name = format!("job{id} checkpoint restore");
@@ -849,8 +987,7 @@ impl MultiJobSim {
         self.jobs[id].epoch += 1;
         self.jobs[id].mitigated = false;
         let model = self.jobs[id].model.clone();
-        let spec = &self.cfg.workload.jobs[id];
-        let engine = spec.engine.build(&model, survivor_spec.world_size());
+        let engine = self.jobs[id].spec.engine.build(&model, survivor_spec.world_size());
         let compute = ComputeModel::new(survivor_spec.node.gpu.clone());
         let timing = compute.iteration_timing(&model, model.default_batch_per_gpu(), DType::F32);
         let (streams_busy, streams_idle) = comm_stream_limits(&compute, &survivor_spec, &model);
@@ -887,7 +1024,7 @@ impl MultiJobSim {
 
     /// Handles a node repair: the node's parked GPUs return to the pool and
     /// the queue gets another chance.
-    fn on_repair(&mut self, node: usize, t: SimTime) {
+    pub(crate) fn on_repair(&mut self, node: usize, t: SimTime) {
         let _ = t;
         self.free.set_node_up(node);
         self.pending_repairs -= 1;
@@ -1000,7 +1137,7 @@ impl MultiJobSim {
 
     /// Routes a scoped timer to its job, honoring the drain window exactly
     /// like `TrainingSim::drain_to` (stale events are dropped).
-    fn on_job_timer(&mut self, id: usize, tok: Token, t: SimTime) {
+    pub(crate) fn on_job_timer(&mut self, id: usize, tok: Token, t: SimTime) {
         match tok.base_kind() {
             BOUNDARY_KIND => {
                 self.on_boundary(id, t);
@@ -1075,7 +1212,7 @@ impl MultiJobSim {
     /// Routes a flow completion to the (unique) job whose collective engine
     /// owns it. Completions inside a drain window are dropped, as in the
     /// single-job path.
-    fn on_flow(&mut self, f: FlowId, t: SimTime) {
+    pub(crate) fn on_flow(&mut self, f: FlowId, t: SimTime) {
         let mut owner = None;
         for (id, job) in self.jobs.iter().enumerate() {
             if let JobState::Running(r) = &job.state {
@@ -1108,7 +1245,7 @@ impl MultiJobSim {
 
     /// Broadcasts a fault record to every running job (link capacities have
     /// already changed inside the shared net).
-    fn on_fault(&mut self, rec: &FaultRecord, t: SimTime) {
+    pub(crate) fn on_fault(&mut self, rec: &FaultRecord, t: SimTime) {
         for id in 0..self.jobs.len() {
             let scope = self.scope(id);
             let job = &mut self.jobs[id];
@@ -1160,7 +1297,7 @@ impl MultiJobSim {
                 Event::Timer(tok) => {
                     let (id, epoch) = self.decode_scope(tok.scope());
                     // Events from an aborted epoch (pre-crash timers) die here.
-                    if epoch == self.jobs[id].epoch {
+                    if self.epoch_live(id, epoch) {
                         self.on_job_timer(id, tok, t);
                     }
                 }

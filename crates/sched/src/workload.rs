@@ -45,7 +45,7 @@ pub enum JobMix {
 
 impl JobMix {
     /// The `(model, gpus)` choices this mix samples from.
-    fn choices(self) -> &'static [(&'static str, usize)] {
+    pub(crate) fn choices(self) -> &'static [(&'static str, usize)] {
         match self {
             JobMix::CommHeavy => &[("vgg16", 8), ("vgg16", 8), ("bert_large", 8), ("vgg16", 12)],
             JobMix::Mixed => &[
@@ -145,11 +145,13 @@ pub struct Workload {
 }
 
 /// Minimal deterministic RNG (SplitMix64 — the same finalizer the compute
-/// jitter uses, so no external `rand` machinery is needed).
-struct SplitMix64(u64);
+/// jitter uses, so no external `rand` machinery is needed). The full `u64`
+/// state is exposed crate-internally so the streaming arrival source can
+/// freeze and restore it across snapshots.
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut x = self.0;
         x ^= x >> 30;
@@ -161,12 +163,12 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)` with 53-bit resolution.
-    fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Exponential with the given mean (inverse-CDF).
-    fn next_exp(&mut self, mean: f64) -> f64 {
+    pub(crate) fn next_exp(&mut self, mean: f64) -> f64 {
         -mean * (1.0 - self.next_f64()).ln()
     }
 }
@@ -219,16 +221,8 @@ impl Workload {
     pub fn to_tsv(&self) -> String {
         let mut out = String::from("id\tarrival_secs\tmodel\tgpus\tengine\titerations\tseed\n");
         for j in &self.jobs {
-            out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-                j.id,
-                j.arrival_secs,
-                j.model,
-                j.gpus,
-                j.engine.label(),
-                j.iterations,
-                j.seed
-            ));
+            out.push_str(&j.to_tsv_row());
+            out.push('\n');
         }
         out
     }
@@ -244,33 +238,63 @@ impl Workload {
             if lineno == 0 || line.trim().is_empty() {
                 continue; // header
             }
-            let cols: Vec<&str> = line.split('\t').collect();
-            if cols.len() != 7 {
-                return Err(format!("line {}: expected 7 columns, got {}", lineno + 1, cols.len()));
-            }
-            let parse = |what: &str, s: &str| -> Result<f64, String> {
-                s.parse::<f64>().map_err(|_| format!("line {}: bad {what}: {s:?}", lineno + 1))
-            };
-            let model = cols[2].to_string();
-            if zoo::by_name(&model).is_none() {
-                return Err(format!("line {}: unknown model {model:?}", lineno + 1));
-            }
-            let engine = engine_by_label(cols[4])
-                .ok_or_else(|| format!("line {}: unknown engine {:?}", lineno + 1, cols[4]))?;
-            jobs.push(JobSpec {
-                id: parse("id", cols[0])? as usize,
-                arrival_secs: parse("arrival", cols[1])?,
-                model,
-                gpus: parse("gpus", cols[3])? as usize,
-                engine,
-                iterations: parse("iterations", cols[5])? as usize,
-                seed: parse("seed", cols[6])? as u64,
-            });
+            jobs.push(
+                JobSpec::parse_tsv_row(line).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            );
         }
         if jobs.is_empty() {
             return Err("trace has no jobs".to_string());
         }
         Ok(Workload { jobs })
+    }
+}
+
+impl JobSpec {
+    /// Parses one data row of the [`Workload::to_tsv`] trace format. The
+    /// streaming replayer uses this to consume traces of arbitrary length
+    /// line by line without materializing the whole workload.
+    ///
+    /// # Errors
+    /// Returns a description of the defect (wrong column count, unparsable
+    /// number, unknown model or engine).
+    pub fn parse_tsv_row(line: &str) -> Result<JobSpec, String> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 7 {
+            return Err(format!("expected 7 columns, got {}", cols.len()));
+        }
+        let parse = |what: &str, s: &str| -> Result<f64, String> {
+            s.parse::<f64>().map_err(|_| format!("bad {what}: {s:?}"))
+        };
+        let model = cols[2].to_string();
+        if zoo::by_name(&model).is_none() {
+            return Err(format!("unknown model {model:?}"));
+        }
+        let engine =
+            engine_by_label(cols[4]).ok_or_else(|| format!("unknown engine {:?}", cols[4]))?;
+        Ok(JobSpec {
+            id: parse("id", cols[0])? as usize,
+            arrival_secs: parse("arrival", cols[1])?,
+            model,
+            gpus: parse("gpus", cols[3])? as usize,
+            engine,
+            iterations: parse("iterations", cols[5])? as usize,
+            seed: parse("seed", cols[6])? as u64,
+        })
+    }
+
+    /// Serializes this spec as one [`Workload::to_tsv`] data row (no
+    /// trailing newline), the exact inverse of [`JobSpec::parse_tsv_row`].
+    pub fn to_tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.id,
+            self.arrival_secs,
+            self.model,
+            self.gpus,
+            self.engine.label(),
+            self.iterations,
+            self.seed
+        )
     }
 }
 

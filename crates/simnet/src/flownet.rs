@@ -231,6 +231,28 @@ impl FlowNet {
         self.launched_by_tag.get(tag as usize).copied().unwrap_or(0.0)
     }
 
+    /// Zeroes the per-tag delivered/launched accumulators for `tag`, so the
+    /// tag can be reused by a new owner with byte accounting that starts
+    /// from exactly `0.0`. Used by the streaming scheduler, whose finite
+    /// token-scope space recycles tags across job generations.
+    pub fn reset_bytes_by_tag(&mut self, tag: u32) {
+        let i = tag as usize;
+        if let Some(v) = self.delivered_by_tag.get_mut(i) {
+            *v = 0.0;
+        }
+        if let Some(v) = self.launched_by_tag.get_mut(i) {
+            *v = 0.0;
+        }
+    }
+
+    /// Overwrites the cumulative carried-bytes accumulator for `id`.
+    /// Snapshot resume seeds a fresh network with the exact accumulator
+    /// values of the interrupted run, so utilization telemetry continues
+    /// bit-identically (subsequent additions see the same partial sums).
+    pub fn seed_carried_bytes(&mut self, id: ResourceId, bytes: f64) {
+        self.carried[id.as_u32() as usize] = bytes;
+    }
+
     fn bump_tag(v: &mut Vec<f64>, tag: u32, bytes: f64) {
         let i = tag as usize;
         if v.len() <= i {

@@ -287,6 +287,15 @@ impl Simulator {
         &self.fault_log
     }
 
+    /// Whether the installed fault plan still has undelivered apply/restore
+    /// actions. `false` means every fault has run to completion, so (for
+    /// plans whose faults all carry durations) link capacities are back at
+    /// their configured base values — one of the quiescence conditions the
+    /// streaming scheduler requires before taking a snapshot.
+    pub fn faults_pending(&self) -> bool {
+        self.faults.next_at().is_some()
+    }
+
     /// Returns the next event and advances virtual time to it, or `None` when
     /// neither timers, faults, nor flows remain.
     pub fn next_event(&mut self) -> Option<(SimTime, Event)> {

@@ -36,7 +36,9 @@ pub mod tune;
 
 pub use dataparallel::{Checkpoint, DataParallelConfig, DataParallelTrainer, TrainStats};
 pub use engines::{EngineKind, Framework};
-pub use metrics::{scaling_efficiency, speedup, ThroughputReport};
+pub use metrics::{
+    scaling_efficiency, speedup, QuantileSketch, ThroughputReport, SKETCH_DEFAULT_K,
+};
 pub use sim::{
     comm_stream_limits, run_training_sim, schedule_worker_compute, ComputeAttempt,
     IterationBreakdown, TrainingSim, TrainingSimConfig, BWD_KIND, GRAD_KIND,

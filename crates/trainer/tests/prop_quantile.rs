@@ -1,0 +1,167 @@
+//! Property tests for the mergeable quantile sketch against the sort-based
+//! exact oracle ([`aiacc_trainer::metrics::percentile`]): every answer must
+//! sit within the sketch's own advertised rank-error budget, on friendly and
+//! adversarial input orders alike, and merging two sketches must obey the
+//! same bound over the concatenated stream.
+
+use aiacc_trainer::metrics::{percentile, QuantileSketch};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Asserts the sketch's answer at percentile `p` lies within
+/// `max_rank_error` ranks of the exact nearest-rank answer over `values`.
+///
+/// The answer occupies the rank interval `[less+1, leq]` in the sorted
+/// population (duplicates widen it); it is in-bound when that interval
+/// intersects `[target - err, target + err]`.
+fn check_rank_bound(values: &[f64], sk: &QuantileSketch, p: f64) -> Result<(), TestCaseError> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as u64;
+    let target = ((p / 100.0 * n as f64).ceil() as u64).clamp(1, n);
+    let err = sk.max_rank_error();
+    let ans = sk.quantile(p).expect("non-empty sketch");
+    let less = sorted.iter().filter(|&&v| v < ans).count() as u64;
+    let leq = sorted.iter().filter(|&&v| v <= ans).count() as u64;
+    prop_assert!(
+        leq >= target.saturating_sub(err) && less < target + err,
+        "p{p}: answer {ans} spans ranks [{},{leq}], exact rank {target}, budget {err}",
+        less + 1,
+    );
+    // The sketch only ever returns values it actually saw.
+    prop_assert!(values.contains(&ans), "answer {ans} was never inserted");
+    Ok(())
+}
+
+const PROBES: [f64; 5] = [10.0, 50.0, 90.0, 95.0, 99.0];
+
+proptest! {
+    /// Uniform inputs: every probe percentile is within the budget, and the
+    /// budget itself stays far below `n` (the sketch is useful, not just
+    /// self-consistent).
+    #[test]
+    fn uniform_within_budget(values in prop::collection::vec(0.0..1e6f64, 1..3000)) {
+        let mut sk = QuantileSketch::new(128);
+        for &v in &values {
+            sk.insert(v);
+        }
+        prop_assert_eq!(sk.count(), values.len() as u64);
+        for p in PROBES {
+            check_rank_bound(&values, &sk, p)?;
+        }
+        prop_assert!(
+            sk.max_rank_error() as f64 <= 0.10 * values.len() as f64 + 1.0,
+            "budget {} too large for n = {}", sk.max_rank_error(), values.len()
+        );
+    }
+
+    /// Heavy-tailed (exponential-shaped) inputs: the rank bound is
+    /// distribution-free, so skew must not matter.
+    #[test]
+    fn exponential_within_budget(units in prop::collection::vec(1e-9..1.0f64, 1..3000)) {
+        let values: Vec<f64> = units.iter().map(|u| -u.ln()).collect();
+        let mut sk = QuantileSketch::new(128);
+        for &v in &values {
+            sk.insert(v);
+        }
+        for p in PROBES {
+            check_rank_bound(&values, &sk, p)?;
+        }
+    }
+
+    /// Adversarial insert orders: pre-sorted ascending and descending
+    /// streams stress the compactor's parity alternation (a biased discard
+    /// would drift the answer on monotone input).
+    #[test]
+    fn sorted_orders_within_budget(n in 100usize..3000) {
+        let ascending: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let descending: Vec<f64> = (0..n).rev().map(|i| i as f64).collect();
+        for values in [&ascending, &descending] {
+            let mut sk = QuantileSketch::new(128);
+            for &v in values.iter() {
+                sk.insert(v);
+            }
+            for p in PROBES {
+                check_rank_bound(values, &sk, p)?;
+            }
+        }
+    }
+
+    /// Merge bound: the merged sketch answers queries over the concatenated
+    /// stream within its own (summed) budget, and merge order is irrelevant
+    /// to the guarantee.
+    #[test]
+    fn merge_obeys_concatenated_bound(
+        a in prop::collection::vec(0.0..1e6f64, 1..1500),
+        b in prop::collection::vec(0.0..1e6f64, 1..1500),
+    ) {
+        let mut sa = QuantileSketch::new(128);
+        for &v in &a {
+            sa.insert(v);
+        }
+        let mut sb = QuantileSketch::new(128);
+        for &v in &b {
+            sb.insert(v);
+        }
+        let (ea, eb) = (sa.max_rank_error(), sb.max_rank_error());
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        // Budgets add, plus whatever the merge's own re-compactions charge —
+        // bounded by the same O(n/k · log(n/k)) envelope as direct inserts.
+        prop_assert!(merged.max_rank_error() >= ea + eb);
+        let n = (a.len() + b.len()) as f64;
+        prop_assert!(
+            merged.max_rank_error() as f64 <= 0.10 * n + 2.0,
+            "merged budget {} too large for n = {n}", merged.max_rank_error()
+        );
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        for p in PROBES {
+            check_rank_bound(&concat, &merged, p)?;
+        }
+    }
+
+    /// The sketch agrees bitwise with the oracle while it has not compacted:
+    /// below capacity it stores every sample, so answers are exact.
+    #[test]
+    fn exact_below_capacity(values in prop::collection::vec(0.0..1e6f64, 1..128)) {
+        let mut sk = QuantileSketch::new(128);
+        for &v in &values {
+            sk.insert(v);
+        }
+        prop_assert_eq!(sk.max_rank_error(), 0);
+        for p in PROBES {
+            let exact = percentile(&values, p).unwrap();
+            let got = sk.quantile(p).unwrap();
+            prop_assert_eq!(got, exact, "p{}: sketch {} vs oracle {}", p, got, exact);
+        }
+    }
+}
+
+/// A deterministic large-scale witness (not proptest-sized): one million
+/// ascending inserts at the default capacity stay under a 1 % rank-error
+/// budget while storing only a few thousand items.
+#[test]
+fn million_ascending_stays_sublinear() {
+    let n: u64 = 1_000_000;
+    let mut sk = QuantileSketch::new_default();
+    for i in 0..n {
+        sk.insert(i as f64);
+    }
+    assert_eq!(sk.count(), n);
+    assert!(
+        (sk.max_rank_error() as f64) < 0.01 * n as f64,
+        "budget {} is not sublinear at n = {n}",
+        sk.max_rank_error()
+    );
+    assert!(sk.stored_items() < 40_000, "stored {} items", sk.stored_items());
+    for p in [50.0, 95.0, 99.0] {
+        let exact = (p / 100.0 * n as f64).ceil() - 1.0;
+        let got = sk.quantile(p).unwrap();
+        assert!(
+            (got - exact).abs() <= sk.max_rank_error() as f64 + 1.0,
+            "p{p}: got {got}, exact {exact}, budget {}",
+            sk.max_rank_error()
+        );
+    }
+}

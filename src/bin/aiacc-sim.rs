@@ -181,6 +181,17 @@ struct SchedArgs {
     chaos_events: usize,
     chaos_horizon_secs: f64,
     recovery: String,
+    stream: bool,
+    arrivals: String,
+    interarrival: Option<f64>,
+    arrival_period_secs: f64,
+    window: u64,
+    nslots: Option<usize>,
+    snapshot_every: Option<u64>,
+    snapshot: Option<String>,
+    resume: Option<String>,
+    stop_after_snapshot: bool,
+    per_job: bool,
 }
 
 fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
@@ -201,6 +212,17 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
         chaos_events: 4,
         chaos_horizon_secs: 40.0,
         recovery: "restart".to_string(),
+        stream: false,
+        arrivals: "poisson".to_string(),
+        interarrival: None,
+        arrival_period_secs: 600.0,
+        window: 1000,
+        nslots: None,
+        snapshot_every: None,
+        snapshot: None,
+        resume: None,
+        stop_after_snapshot: false,
+        per_job: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -241,13 +263,42 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--chaos-horizon: {e}"))?
             }
             "--recovery" => args.recovery = value(&mut i)?,
+            "--stream" => args.stream = true,
+            "--arrivals" => args.arrivals = value(&mut i)?,
+            "--interarrival" => {
+                args.interarrival =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--interarrival: {e}"))?)
+            }
+            "--arrival-period" => {
+                args.arrival_period_secs =
+                    value(&mut i)?.parse().map_err(|e| format!("--arrival-period: {e}"))?
+            }
+            "--window" => {
+                args.window = value(&mut i)?.parse().map_err(|e| format!("--window: {e}"))?
+            }
+            "--nslots" => {
+                args.nslots = Some(value(&mut i)?.parse().map_err(|e| format!("--nslots: {e}"))?)
+            }
+            "--snapshot-every" => {
+                args.snapshot_every =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--snapshot-every: {e}"))?)
+            }
+            "--snapshot" => args.snapshot = Some(value(&mut i)?),
+            "--resume" => args.resume = Some(value(&mut i)?),
+            "--stop-after-snapshot" => args.stop_after_snapshot = true,
+            "--per-job" => args.per_job = true,
             "--help" | "-h" => {
                 return Err("usage: aiacc-sim schedule [--policy packed|spread|topo|all] \
                             [--njobs N] [--seed S] [--gpus N] [--engine E] \
                             [--mix comm-heavy|mixed|tiny] [--iters N] [--rdma] \
                             [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json] [--jobs N] \
                             [--chaos] [--chaos-events N] [--chaos-horizon SECS] \
-                            [--recovery restart|shrink|fail]"
+                            [--recovery restart|shrink|fail]\n       \
+                            aiacc-sim schedule --stream \
+                            [--arrivals poisson|diurnal|bursty|TRACE.tsv] [--njobs N] \
+                            [--interarrival SECS] [--arrival-period SECS] [--window N] \
+                            [--nslots N] [--snapshot-every N] [--snapshot PATH] \
+                            [--resume PATH] [--stop-after-snapshot] [--per-job]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try schedule --help)")),
@@ -261,31 +312,11 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
 /// followed by the cluster-metrics block. Fixed 9-digit float precision so
 /// equal runs are byte-for-byte equal regardless of `--jobs`.
 fn sched_render(report: &aiacc::sched::MultiJobReport) -> String {
-    let mut out = String::from(
-        "id\tmodel\tgpus\tengine\tarrival_s\tstart_s\tfinish_s\tjct_s\tqueue_s\tnodes\tmean_iter_s\
-         \tcrashes\trestarts\tshrinks\trecovery_s\tmitigations\tfailed\n",
-    );
+    let mut out = String::from(aiacc::sched::JobOutcome::tsv_header());
+    out.push('\n');
     for j in &report.jobs {
-        out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{:.9}\t{}\t{:.9}\t{}\t{}\t{}\t{:.9}\t{}\t{}\n",
-            j.id,
-            j.model,
-            j.gpus,
-            j.engine,
-            j.arrival_secs,
-            j.start_secs,
-            j.finish_secs,
-            j.jct_secs(),
-            j.queue_delay_secs(),
-            j.nodes_used,
-            j.mean_iter_secs(),
-            j.crashes,
-            j.restarts,
-            j.shrinks,
-            j.recovery_secs,
-            j.mitigations,
-            j.failed as u8,
-        ));
+        out.push_str(&j.tsv_row());
+        out.push('\n');
     }
     let m = aiacc::sched::summarize(report);
     out.push_str(aiacc::sched::ClusterMetrics::tsv_header());
@@ -295,10 +326,115 @@ fn sched_render(report: &aiacc::sched::MultiJobReport) -> String {
     out
 }
 
+/// `schedule --stream`: open-loop arrivals drained through the slot-pool
+/// streaming replay. Headers are printed only on a fresh run so that a
+/// stopped run's output concatenated with its resumed run's output is
+/// byte-identical to the uninterrupted run.
+fn cmd_schedule_stream(args: &SchedArgs) -> Result<(), String> {
+    use aiacc::sched::stream::{ArrivalCfg, ArrivalProcess, StreamCfg, StreamSim};
+    let cluster = if args.rdma {
+        ClusterSpec::rdma_v100(args.gpus)
+    } else {
+        ClusterSpec::tcp_v100(args.gpus)
+    };
+    let policy = PlacePolicy::by_name(&args.policy)
+        .ok_or_else(|| format!("unknown policy {}; use packed|spread|topo", args.policy))?;
+    let recovery = aiacc::sched::RecoveryPolicy::by_name(&args.recovery).ok_or_else(|| {
+        format!("unknown recovery policy {}; use restart|shrink|fail", args.recovery)
+    })?;
+    let process = match args.arrivals.as_str() {
+        "poisson" => ArrivalProcess::Poisson,
+        "diurnal" => ArrivalProcess::Diurnal { period_secs: args.arrival_period_secs },
+        "bursty" => ArrivalProcess::Bursty,
+        path => ArrivalProcess::Trace { path: path.to_string() },
+    };
+    let mut arrivals = ArrivalCfg::new(process, args.njobs as u64, args.seed);
+    arrivals.mix = JobMix::by_name(&args.mix)
+        .ok_or_else(|| format!("unknown mix {}; use comm-heavy|mixed|tiny", args.mix))?;
+    arrivals.iterations = args.iters;
+    if let Some(gap) = args.interarrival {
+        arrivals.mean_interarrival_secs = gap;
+    }
+    if let Some(label) = &args.engine {
+        arrivals.engine = Some(aiacc::sched::engine_by_label(label).ok_or_else(|| {
+            format!("unknown engine {label}; use aiacc|horovod|pytorch-ddp|byteps|mxnet-kvstore")
+        })?);
+    }
+    // The batch workload field is unused in streaming mode; a one-job
+    // placeholder satisfies the constructor.
+    let placeholder = Workload::generate(&WorkloadCfg::new(1, 1).with_mix(JobMix::Tiny));
+    let mut base = MultiJobCfg::new(cluster.clone(), policy, placeholder).with_recovery(recovery);
+    if args.chaos {
+        let plan = FaultPlan::chaos(
+            args.seed,
+            cluster.nodes,
+            SimDuration::from_secs_f64(args.chaos_horizon_secs),
+            args.chaos_events,
+        );
+        eprintln!(
+            "[aiacc-sim] chaos plan (seed {}): {} event(s), recovery `{}`",
+            args.seed,
+            plan.events().len(),
+            recovery.name()
+        );
+        base = base.with_faults(plan).with_straggler_mitigation(1.3);
+    }
+    let mut cfg = StreamCfg::new(base, arrivals)
+        .with_window(args.window)
+        .with_per_job_rows(args.per_job)
+        .with_stop_after_snapshot(args.stop_after_snapshot);
+    if let Some(n) = args.nslots {
+        cfg = cfg.with_nslots(n);
+    }
+    if let Some(every) = args.snapshot_every {
+        let path = args.snapshot.clone().unwrap_or_else(|| "stream.snap".to_string());
+        cfg = cfg.with_snapshots(every, path);
+    }
+    let sim = match &args.resume {
+        Some(path) => StreamSim::resume_from_file(cfg, path).map_err(|e| e.to_string())?,
+        None => StreamSim::try_new(cfg).map_err(|e| e.to_string())?,
+    };
+    let report = sim.run().map_err(|e| e.to_string())?;
+    if args.resume.is_none() {
+        if args.per_job {
+            println!("{}", aiacc::sched::JobOutcome::tsv_header());
+        }
+        println!("{}", aiacc::sched::window_tsv_header());
+    }
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if let Some(m) = &report.summary {
+        println!("{}", aiacc::sched::ClusterMetrics::tsv_header());
+        println!("{}", m.to_tsv_row());
+    }
+    let st = &report.stats;
+    eprintln!(
+        "[aiacc-sim] stream: {} emitted / {} completed / {} failed | {} window(s) | \
+         {} slot(s), peak {} active, peak backlog {} | {} snapshot(s){} | \
+         sketch ≤{} rank error over {} stored",
+        st.emitted,
+        st.completed,
+        st.failed,
+        st.windows_emitted,
+        st.nslots,
+        st.peak_active,
+        st.peak_backlog,
+        st.snapshots_written,
+        if st.stopped_at_snapshot { ", stopped at snapshot" } else { "" },
+        st.sketch_max_rank_error,
+        st.sketch_stored_items,
+    );
+    Ok(())
+}
+
 fn cmd_schedule(argv: &[String]) -> Result<(), String> {
     let args = parse_sched_args(argv)?;
     if let Some(n) = args.jobs {
         aiacc::simnet::par::set_jobs(n);
+    }
+    if args.stream {
+        return cmd_schedule_stream(&args);
     }
     let cluster = if args.rdma {
         ClusterSpec::rdma_v100(args.gpus)
