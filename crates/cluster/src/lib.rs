@@ -39,5 +39,5 @@ mod topology;
 
 pub use alloc::GpuFreeList;
 pub use compute::{jitter_factor, ComputeModel, IterationTiming};
-pub use spec::{ClusterSpec, GpuSpec, NetKind, NicSpec, NodeSpec};
+pub use spec::{ClusterSpec, GpuSpec, NetKind, NicSpec, NodeSpec, RackSpec};
 pub use topology::{ClusterNet, PathInfo};

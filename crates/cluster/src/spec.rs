@@ -138,6 +138,64 @@ impl NodeSpec {
     }
 }
 
+/// A rack/spine tier above the node NICs.
+///
+/// Nodes are packed into racks of `nodes_per_rack` (the last rack may be
+/// partial). Each rack gets a ToR uplink tx/rx port pair and all racks share
+/// one spine resource, so cross-rack traffic loads
+/// `… nic → tor_tx → spine → tor_rx → nic …` and contends on the
+/// oversubscribed uplinks the way real datacenter fabrics do. Racks also
+/// partition the fluid solver: rack-local flows are solved per rack and only
+/// the spine tier is re-solved when a cross-rack share moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Nodes behind one ToR switch.
+    pub nodes_per_rack: usize,
+    /// ToR uplink bandwidth per direction in Gbit/s.
+    pub uplink_gbps: f64,
+    /// Aggregate spine bandwidth in Gbit/s.
+    pub spine_gbps: f64,
+    /// Extra startup latency a cross-rack transfer pays.
+    pub hop_latency: SimDuration,
+}
+
+impl RackSpec {
+    /// A 2:1-oversubscribed rack layer sized for `nic`: the uplink carries
+    /// half the rack's aggregate NIC bandwidth, the spine carries the sum of
+    /// all uplinks (set by [`ClusterSpec::with_rack_layer`], which knows the
+    /// rack count).
+    pub fn oversubscribed_2to1(nodes_per_rack: usize, nic: &NicSpec) -> Self {
+        assert!(nodes_per_rack > 0, "rack needs at least one node");
+        let uplink = nic.bandwidth_gbps * nodes_per_rack as f64 / 2.0;
+        RackSpec {
+            nodes_per_rack,
+            uplink_gbps: uplink,
+            spine_gbps: uplink, // rescaled to nracks × uplink at attach time
+            hop_latency: SimDuration::from_micros(5),
+        }
+    }
+
+    /// ToR uplink capacity in bytes/second.
+    pub fn uplink_bytes_per_sec(&self) -> f64 {
+        self.uplink_gbps * 1e9 / 8.0
+    }
+
+    /// Spine capacity in bytes/second.
+    pub fn spine_bytes_per_sec(&self) -> f64 {
+        self.spine_gbps * 1e9 / 8.0
+    }
+
+    /// Validates field ranges.
+    ///
+    /// # Panics
+    /// Panics if the rack is empty or a bandwidth is non-positive.
+    pub fn validate(&self) {
+        assert!(self.nodes_per_rack > 0, "rack needs at least one node");
+        assert!(self.uplink_gbps > 0.0, "uplink bandwidth must be positive");
+        assert!(self.spine_gbps > 0.0, "spine bandwidth must be positive");
+    }
+}
+
 /// A homogeneous cluster of nodes, optionally with a partially-populated
 /// last node.
 ///
@@ -154,6 +212,10 @@ pub struct ClusterSpec {
     pub node: NodeSpec,
     /// GPUs on the last node, `0` meaning "full" (`node.gpus_per_node`).
     pub tail_gpus: usize,
+    /// Optional rack/spine tier (`None` = flat single-tier fabric, which is
+    /// what every pre-rack snapshot and spec deserializes to).
+    #[serde(default)]
+    pub rack: Option<RackSpec>,
 }
 
 impl ClusterSpec {
@@ -166,7 +228,48 @@ impl ClusterSpec {
         assert!(nodes > 0, "cluster needs at least one node");
         assert!(node.gpus_per_node > 0, "node needs at least one GPU");
         node.nic.validate();
-        ClusterSpec { nodes, node, tail_gpus: 0 }
+        ClusterSpec { nodes, node, tail_gpus: 0, rack: None }
+    }
+
+    /// Attaches a rack/spine tier, packing nodes into racks of
+    /// `rack.nodes_per_rack` and rescaling `spine_gbps` to carry every
+    /// rack's uplink (`nracks × uplink_gbps`) so the spine is never the
+    /// artificial bottleneck unless the caller overrides it afterwards.
+    ///
+    /// # Panics
+    /// Panics if the rack spec is out of range.
+    pub fn with_rack_layer(mut self, mut rack: RackSpec) -> Self {
+        rack.validate();
+        let nracks = self.nodes.div_ceil(rack.nodes_per_rack);
+        rack.spine_gbps = rack.uplink_gbps * nracks as f64;
+        self.rack = Some(rack);
+        self
+    }
+
+    /// Number of racks (`1` for a flat, rackless cluster).
+    pub fn nracks(&self) -> usize {
+        match &self.rack {
+            Some(r) => self.nodes.div_ceil(r.nodes_per_rack),
+            None => 1,
+        }
+    }
+
+    /// Rack index hosting node `node` (`0` for a flat cluster).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn rack_of_node(&self, node: usize) -> usize {
+        assert!(node < self.nodes, "node {node} out of range");
+        match &self.rack {
+            Some(r) => node / r.nodes_per_rack,
+            None => 0,
+        }
+    }
+
+    /// Whether two global ranks share a rack (always true when the cluster
+    /// has no rack layer).
+    pub fn same_rack(&self, a: usize, b: usize) -> bool {
+        self.rack_of_node(self.node_of(a)) == self.rack_of_node(self.node_of(b))
     }
 
     /// Creates a cluster of `nodes - 1` full nodes plus a last node hosting
@@ -347,6 +450,52 @@ mod tests {
     fn tail_rank_past_world_size_rejected() {
         let c = ClusterSpec::tcp_v100(12);
         let _ = c.node_of(12);
+    }
+
+    #[test]
+    fn rack_layer_packs_nodes_and_rescales_spine() {
+        let spec = ClusterSpec::tcp_v100(256); // 32 nodes
+        let rack = RackSpec::oversubscribed_2to1(8, &spec.node.nic);
+        let spec = spec.with_rack_layer(rack);
+        assert_eq!(spec.nracks(), 4);
+        assert_eq!(spec.rack_of_node(0), 0);
+        assert_eq!(spec.rack_of_node(7), 0);
+        assert_eq!(spec.rack_of_node(8), 1);
+        assert_eq!(spec.rack_of_node(31), 3);
+        // Ranks 0..64 live in rack 0 (8 nodes × 8 GPUs).
+        assert!(spec.same_rack(0, 63));
+        assert!(!spec.same_rack(63, 64));
+        let r = spec.rack.unwrap();
+        // 2:1 oversubscription: 8 × 30 Gbps NICs behind a 120 Gbps uplink.
+        assert!((r.uplink_gbps - 120.0).abs() < 1e-9);
+        // Spine rescaled to the 4 racks' aggregate uplink.
+        assert!((r.spine_gbps - 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_cluster_is_one_rack() {
+        let spec = ClusterSpec::tcp_v100(64);
+        assert_eq!(spec.nracks(), 1);
+        assert_eq!(spec.rack_of_node(7), 0);
+        assert!(spec.same_rack(0, 63));
+    }
+
+    #[test]
+    fn partial_last_rack_is_counted() {
+        let spec = ClusterSpec::tcp_v100(80) // 10 nodes
+            .with_rack_layer(RackSpec::oversubscribed_2to1(4, &NicSpec::tcp_30gbps()));
+        assert_eq!(spec.nracks(), 3);
+        assert_eq!(spec.rack_of_node(9), 2);
+    }
+
+    #[test]
+    fn constructors_default_to_no_rack_layer() {
+        // Every existing constructor must keep yielding a flat fabric so
+        // pre-rack callers (and serialized specs, via `#[serde(default)]`)
+        // see unchanged behaviour.
+        assert!(ClusterSpec::tcp_v100(16).rack.is_none());
+        assert!(ClusterSpec::rdma_v100(16).rack.is_none());
+        assert!(ClusterSpec::with_tail(2, NodeSpec::alibaba_v100_tcp(), 4).rack.is_none());
     }
 
     #[test]

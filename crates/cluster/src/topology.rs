@@ -51,6 +51,18 @@ pub struct ClusterNet {
     pcie_rx: Vec<ResourceId>,
     node_tx: Vec<ResourceId>,
     node_rx: Vec<ResourceId>,
+    /// ToR uplink ports indexed by *physical* rack (empty without a rack
+    /// layer). Subnets alias the parent's arrays, like every other resource.
+    tor_tx: Vec<ResourceId>,
+    tor_rx: Vec<ResourceId>,
+    spine: Option<ResourceId>,
+    /// Physical rack of each *logical* node — the routing truth for both the
+    /// base network (`node_rack[n] = n / nodes_per_rack`) and subnets (where
+    /// logical node indices are remapped onto arbitrary physical nodes).
+    node_rack: Vec<usize>,
+    /// Rack tier of the *physical* fabric (a subnet's logical spec may say
+    /// `rack: None` while still riding a racked parent).
+    rack: Option<crate::spec::RackSpec>,
 }
 
 /// Usable PCIe 3.0 ×16 bandwidth per GPU, bytes/second. Cross-node traffic
@@ -64,25 +76,43 @@ const PCIE_BYTES_PER_SEC: f64 = 12.0e9;
 
 impl ClusterNet {
     /// Adds this cluster's resources to `net`.
+    ///
+    /// With a rack layer, every resource of node `n` is registered in solver
+    /// group `n`, each rack's ToR ports in their own group and the spine in
+    /// one more, so the fluid solver partitions along fabric boundaries:
+    /// traffic between a pair of nodes is solved on just those nodes,
+    /// rack-local traffic never escapes the rack's components, and the ToR/
+    /// spine tier only merges the racks a live cross-rack flow actually
+    /// touches. A rackless cluster keeps everything in the default group,
+    /// bit-identical to the pre-rack network.
     pub fn build(spec: &ClusterSpec, net: &mut FlowNet) -> Self {
         let world = spec.world_size();
         let nvlink = spec.node.gpu.nvlink_bytes_per_sec();
         let nic = spec.node.nic.bytes_per_sec();
+        let rack = spec.rack;
+        let add = |net: &mut FlowNet, name: String, cap: f64, node: usize| {
+            if rack.is_some() {
+                net.add_resource_in_group(name, cap, node as u32)
+            } else {
+                net.add_resource(name, cap)
+            }
+        };
         let mut gpu_tx = Vec::with_capacity(world);
         let mut gpu_rx = Vec::with_capacity(world);
         let mut pcie_tx = Vec::with_capacity(world);
         let mut pcie_rx = Vec::with_capacity(world);
         for r in 0..world {
-            gpu_tx.push(net.add_resource(format!("gpu{r}.tx"), nvlink));
-            gpu_rx.push(net.add_resource(format!("gpu{r}.rx"), nvlink));
-            pcie_tx.push(net.add_resource(format!("gpu{r}.pcie.tx"), PCIE_BYTES_PER_SEC));
-            pcie_rx.push(net.add_resource(format!("gpu{r}.pcie.rx"), PCIE_BYTES_PER_SEC));
+            let n = spec.node_of(r);
+            gpu_tx.push(add(net, format!("gpu{r}.tx"), nvlink, n));
+            gpu_rx.push(add(net, format!("gpu{r}.rx"), nvlink, n));
+            pcie_tx.push(add(net, format!("gpu{r}.pcie.tx"), PCIE_BYTES_PER_SEC, n));
+            pcie_rx.push(add(net, format!("gpu{r}.pcie.rx"), PCIE_BYTES_PER_SEC, n));
         }
         let mut node_tx = Vec::with_capacity(spec.nodes);
         let mut node_rx = Vec::with_capacity(spec.nodes);
         for n in 0..spec.nodes {
-            let tx = net.add_resource(format!("node{n}.nic.tx"), nic);
-            let rx = net.add_resource(format!("node{n}.nic.rx"), nic);
+            let tx = add(net, format!("node{n}.nic.tx"), nic, n);
+            let rx = add(net, format!("node{n}.nic.rx"), nic, n);
             // The single-stream ceiling is a *fraction* of the link (§III),
             // so register it as a share on the resource: when fault injection
             // degrades the NIC's capacity, every stream's ceiling shrinks
@@ -93,7 +123,38 @@ impl ClusterNet {
             node_tx.push(tx);
             node_rx.push(rx);
         }
-        ClusterNet { spec: spec.clone(), gpu_tx, gpu_rx, pcie_tx, pcie_rx, node_tx, node_rx }
+        let mut tor_tx = Vec::new();
+        let mut tor_rx = Vec::new();
+        let mut spine = None;
+        if let Some(r) = &rack {
+            let nracks = spec.nracks();
+            let uplink = r.uplink_bytes_per_sec();
+            for k in 0..nracks {
+                let g = (spec.nodes + k) as u32;
+                tor_tx.push(net.add_resource_in_group(format!("tor{k}.tx"), uplink, g));
+                tor_rx.push(net.add_resource_in_group(format!("tor{k}.rx"), uplink, g));
+            }
+            spine = Some(net.add_resource_in_group(
+                "spine".to_string(),
+                r.spine_bytes_per_sec(),
+                (spec.nodes + nracks) as u32,
+            ));
+        }
+        let node_rack: Vec<usize> = (0..spec.nodes).map(|n| spec.rack_of_node(n)).collect();
+        ClusterNet {
+            spec: spec.clone(),
+            gpu_tx,
+            gpu_rx,
+            pcie_tx,
+            pcie_rx,
+            node_tx,
+            node_rx,
+            tor_tx,
+            tor_rx,
+            spine,
+            node_rack,
+            rack,
+        }
     }
 
     /// The cluster description this network was built from.
@@ -137,6 +198,7 @@ impl ClusterNet {
         }
         let mut node_tx = Vec::with_capacity(spec.nodes);
         let mut node_rx = Vec::with_capacity(spec.nodes);
+        let mut node_rack = Vec::with_capacity(spec.nodes);
         let mut node_seen = vec![false; self.spec.nodes];
         let mut rank = 0;
         for n in 0..spec.nodes {
@@ -153,9 +215,25 @@ impl ClusterNet {
             node_seen[phys_node] = true;
             node_tx.push(self.node_tx[phys_node]);
             node_rx.push(self.node_rx[phys_node]);
+            // Routing keeps following the *physical* rack of each logical
+            // node, regardless of what the logical spec says about racks.
+            node_rack.push(self.node_rack[phys_node]);
             rank += count;
         }
-        ClusterNet { spec, gpu_tx, gpu_rx, pcie_tx, pcie_rx, node_tx, node_rx }
+        ClusterNet {
+            spec,
+            gpu_tx,
+            gpu_rx,
+            pcie_tx,
+            pcie_rx,
+            node_tx,
+            node_rx,
+            tor_tx: self.tor_tx.clone(),
+            tor_rx: self.tor_rx.clone(),
+            spine: self.spine,
+            node_rack,
+            rack: self.rack,
+        }
     }
 
     /// Path for a GPU-to-GPU transfer between global ranks.
@@ -177,19 +255,41 @@ impl ClusterNet {
         } else {
             let sn = spec.node_of(src);
             let dn = spec.node_of(dst);
+            let mut resources = vec![self.pcie_tx[src], self.node_tx[sn]];
+            let mut latency = spec.node.nic.latency;
+            if let Some(extra) = self.rack_hops(sn, dn, &mut resources) {
+                latency += extra;
+            }
+            resources.push(self.node_rx[dn]);
+            resources.push(self.pcie_rx[dst]);
             PathInfo {
                 // Cross-node: out of GPU memory over PCIe, through both
-                // NICs, into the peer GPU over PCIe.
-                resources: vec![
-                    self.pcie_tx[src],
-                    self.node_tx[sn],
-                    self.node_rx[dn],
-                    self.pcie_rx[dst],
-                ],
+                // NICs (and, cross-rack, the ToR uplinks and the spine),
+                // into the peer GPU over PCIe.
+                resources,
                 rate_cap: Some(spec.node.nic.flow_cap_bytes_per_sec()),
-                latency: spec.node.nic.latency,
+                latency,
             }
         }
+    }
+
+    /// Appends `tor_tx → spine → tor_rx` to `resources` when the two nodes
+    /// sit in different racks; returns the extra latency of the detour.
+    fn rack_hops(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        resources: &mut Vec<ResourceId>,
+    ) -> Option<SimDuration> {
+        let rack = self.rack.as_ref()?;
+        let (sr, dr) = (self.node_rack[src_node], self.node_rack[dst_node]);
+        if sr == dr {
+            return None;
+        }
+        resources.push(self.tor_tx[sr]);
+        resources.push(self.spine.expect("racked net has a spine"));
+        resources.push(self.tor_rx[dr]);
+        Some(rack.hop_latency)
     }
 
     /// Path for an aggregated node-to-node transfer (used by the coarse
@@ -201,11 +301,13 @@ impl ClusterNet {
     pub fn node_path(&self, src_node: usize, dst_node: usize) -> PathInfo {
         assert_ne!(src_node, dst_node, "no self-transfer path");
         assert!(src_node < self.spec.nodes && dst_node < self.spec.nodes, "node out of range");
-        PathInfo {
-            resources: vec![self.node_tx[src_node], self.node_rx[dst_node]],
-            rate_cap: Some(self.spec.node.nic.flow_cap_bytes_per_sec()),
-            latency: self.spec.node.nic.latency,
+        let mut resources = vec![self.node_tx[src_node]];
+        let mut latency = self.spec.node.nic.latency;
+        if let Some(extra) = self.rack_hops(src_node, dst_node, &mut resources) {
+            latency += extra;
         }
+        resources.push(self.node_rx[dst_node]);
+        PathInfo { resources, rate_cap: Some(self.spec.node.nic.flow_cap_bytes_per_sec()), latency }
     }
 
     /// The NIC transmit resource of a node (for utilization measurements).
@@ -228,11 +330,38 @@ impl ClusterNet {
     pub fn pcie_tx_resource(&self, rank: usize) -> ResourceId {
         self.pcie_tx[rank]
     }
+
+    /// The ToR uplink transmit resource of a physical rack.
+    ///
+    /// # Panics
+    /// Panics if the network has no rack layer or `rack` is out of range.
+    pub fn tor_tx_resource(&self, rack: usize) -> ResourceId {
+        self.tor_tx[rack]
+    }
+
+    /// The ToR uplink receive resource of a physical rack.
+    ///
+    /// # Panics
+    /// Panics if the network has no rack layer or `rack` is out of range.
+    pub fn tor_rx_resource(&self, rack: usize) -> ResourceId {
+        self.tor_rx[rack]
+    }
+
+    /// The shared spine resource (`None` for a flat, rackless fabric).
+    pub fn spine_resource(&self) -> Option<ResourceId> {
+        self.spine
+    }
+
+    /// Physical rack hosting (logical) node `node` (`0` on a flat fabric).
+    pub fn rack_of_node(&self, node: usize) -> usize {
+        self.node_rack[node]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::NicSpec;
     use aiacc_simnet::Simulator;
 
     #[test]
@@ -305,6 +434,92 @@ mod tests {
         let p = c.node_path(0, 3);
         assert_eq!(p.resources.len(), 2);
         assert!(p.rate_cap.is_some());
+    }
+
+    #[test]
+    fn rack_layer_adds_tor_and_spine_resources() {
+        use crate::spec::RackSpec;
+        let mut net = FlowNet::new();
+        let spec = ClusterSpec::tcp_v100(128) // 16 nodes
+            .with_rack_layer(RackSpec::oversubscribed_2to1(4, &NicSpec::tcp_30gbps()));
+        let c = ClusterNet::build(&spec, &mut net);
+        // 128 GPUs × 4 ports + 16 nodes × 2 NIC ports + 4 racks × 2 ToR
+        // ports + 1 spine.
+        assert_eq!(net.resource_count(), 128 * 4 + 16 * 2 + 4 * 2 + 1);
+        // Node n's resources live in solver group n, ToR k in group 16+k,
+        // the spine in group 20.
+        assert_eq!(net.resource_group(c.node_tx_resource(0)), 0);
+        assert_eq!(net.resource_group(c.node_tx_resource(15)), 15);
+        assert_eq!(net.resource_group(c.gpu_tx_resource(127)), 15);
+        assert_eq!(net.resource_group(c.tor_tx_resource(2)), 18);
+        assert_eq!(net.resource_group(c.spine_resource().unwrap()), 20);
+    }
+
+    #[test]
+    fn cross_rack_path_rides_tor_and_spine() {
+        use crate::spec::RackSpec;
+        let mut net = FlowNet::new();
+        let rack = RackSpec::oversubscribed_2to1(4, &NicSpec::tcp_30gbps());
+        let spec = ClusterSpec::tcp_v100(128).with_rack_layer(rack);
+        let c = ClusterNet::build(&spec, &mut net);
+        // Ranks 0 and 63 are in racks 0 and 1 (4 nodes × 8 GPUs per rack).
+        let p = c.path(0, 63);
+        assert_eq!(p.resources.len(), 7);
+        assert_eq!(p.resources[2], c.tor_tx_resource(0));
+        assert_eq!(p.resources[3], c.spine_resource().unwrap());
+        assert_eq!(p.resources[4], c.tor_rx_resource(1));
+        assert_eq!(p.latency, spec.node.nic.latency + rack.hop_latency);
+        // Same-rack cross-node traffic never touches the rack tier.
+        let q = c.path(0, 31);
+        assert_eq!(q.resources.len(), 4);
+        assert_eq!(q.latency, spec.node.nic.latency);
+        // Node-level aggregates follow the same routing.
+        assert_eq!(c.node_path(0, 4).resources.len(), 5);
+        assert_eq!(c.node_path(0, 3).resources.len(), 2);
+    }
+
+    #[test]
+    fn subnet_keeps_physical_rack_routing() {
+        use crate::spec::RackSpec;
+        let mut net = FlowNet::new();
+        let spec = ClusterSpec::tcp_v100(128)
+            .with_rack_layer(RackSpec::oversubscribed_2to1(4, &NicSpec::tcp_30gbps()));
+        let phys = ClusterNet::build(&spec, &mut net);
+        // A 2-node gang straddling racks 0 and 1 (physical nodes 3 and 4).
+        // Its logical spec knows nothing about racks, yet its traffic still
+        // rides the physical ToR/spine tier.
+        let mut lspec = ClusterSpec::tcp_v100(128);
+        lspec.nodes = 2;
+        let ranks: Vec<usize> = (24..40).collect();
+        let sub = phys.subnet(lspec, &ranks);
+        assert_eq!(sub.rack_of_node(0), 0);
+        assert_eq!(sub.rack_of_node(1), 1);
+        let p = sub.path(0, 8);
+        assert_eq!(p.resources.len(), 7);
+        assert_eq!(p.resources[3], phys.spine_resource().unwrap());
+        assert_eq!(net.resource_count(), 128 * 4 + 16 * 2 + 4 * 2 + 1); // aliases only
+    }
+
+    #[test]
+    fn cross_rack_flow_contends_on_the_uplink() {
+        use crate::spec::RackSpec;
+        let mut sim = Simulator::new();
+        // Tiny uplink: 2 nodes per rack behind a 3 Gbps ToR port.
+        let rack = RackSpec {
+            nodes_per_rack: 2,
+            uplink_gbps: 3.0,
+            spine_gbps: 100.0,
+            hop_latency: aiacc_simnet::SimDuration::from_micros(5),
+        };
+        let spec = ClusterSpec::tcp_v100(32).with_rack_layer(rack);
+        let c = ClusterNet::build(&spec, sim.net_mut());
+        // Four cross-rack streams from rack 0 share its 0.375 GB/s uplink.
+        for i in 0..4 {
+            sim.start_flow(c.path(i, 16 + i).flow(1e12));
+        }
+        sim.net_mut().advance_to(aiacc_simnet::SimTime::from_secs_f64(0.001));
+        let up = c.tor_tx_resource(0);
+        assert!((sim.net_mut().utilization(up) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Property-based equivalence of the partitioned (hierarchical) fluid solver
+//! and the flat global solver.
+//!
+//! The partitioned solver re-solves only the connected components a change
+//! touches; the flat solver re-solves every component on any change. Both
+//! visit components in the same deterministic order and run the same
+//! per-component arithmetic, so on *any* flow set — rack-local,
+//! cross-rack, or a mix — every observable (rates, remaining bytes, event
+//! times, completion order, byte counters) must agree **bit for bit**.
+
+use aiacc_cluster::{ClusterNet, ClusterSpec, NicSpec, RackSpec};
+use aiacc_simnet::{FlowNet, SolveMode};
+use proptest::prelude::*;
+
+/// A random rank-to-rank transfer on a 2-rack × 4-node × 8-GPU cluster.
+#[derive(Debug, Clone)]
+struct RandXfer {
+    src: usize,
+    dst: usize,
+    bytes: f64,
+    lat_ns: u64,
+}
+
+fn rand_xfer(world: usize) -> impl Strategy<Value = RandXfer> {
+    (0..world, 1..world, 1e3..1e9f64, 0u64..500_000).prop_map(move |(src, hop, bytes, lat_ns)| {
+        // `dst = src + hop (mod world)` with `hop >= 1`: never a
+        // self-transfer, still covers same-node/same-rack/cross-rack.
+        RandXfer { src, dst: (src + hop) % world, bytes, lat_ns }
+    })
+}
+
+fn racked_spec() -> ClusterSpec {
+    ClusterSpec::tcp_v100(64)
+        .with_rack_layer(RackSpec::oversubscribed_2to1(4, &NicSpec::tcp_30gbps()))
+}
+
+fn build(mode: SolveMode) -> (FlowNet, ClusterNet) {
+    let mut net = FlowNet::new();
+    net.set_solve_mode(mode);
+    let cluster = ClusterNet::build(&racked_spec(), &mut net);
+    (net, cluster)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lock-step run: after every start and every event batch, each flow's
+    /// rate and remaining bytes agree bitwise between the two modes, the
+    /// next event time is identical, and completion batches match.
+    #[test]
+    fn partitioned_solver_is_bitwise_identical_to_flat(
+        xfers in prop::collection::vec(rand_xfer(64), 1..24),
+    ) {
+        let (mut part, cp) = build(SolveMode::Partitioned);
+        let (mut full, cf) = build(SolveMode::Full);
+        let mut ids = Vec::new();
+        let mut touched = std::collections::BTreeSet::new();
+        for x in &xfers {
+            touched.extend(cp.path(x.src, x.dst).resources.iter().copied());
+            let spec = cp.path(x.src, x.dst).flow(x.bytes)
+                .with_latency(aiacc_simnet::SimDuration::from_nanos(x.lat_ns));
+            let spec_f = cf.path(x.src, x.dst).flow(x.bytes)
+                .with_latency(aiacc_simnet::SimDuration::from_nanos(x.lat_ns));
+            ids.push((part.start_flow(spec), full.start_flow(spec_f)));
+            for &(ip, if_) in &ids {
+                match (part.flow(ip), full.flow(if_)) {
+                    (Some(fp), Some(ff)) => {
+                        prop_assert_eq!(fp.rate.to_bits(), ff.rate.to_bits(),
+                            "rate diverged after start: {} vs {}", fp.rate, ff.rate);
+                    }
+                    (a, b) => prop_assert_eq!(a.is_some(), b.is_some(), "liveness diverged"),
+                }
+            }
+        }
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 10_000, "run did not terminate");
+            let (tp, tf) = (part.next_change(), full.next_change());
+            prop_assert_eq!(
+                tp.map(|t| t.as_nanos()), tf.map(|t| t.as_nanos()),
+                "next event time diverged"
+            );
+            let Some(t) = tp else { break };
+            part.advance_to(t);
+            full.advance_to(t);
+            prop_assert_eq!(part.take_completed(), full.take_completed(),
+                "completion batch diverged");
+            for &(ip, if_) in &ids {
+                match (part.flow(ip), full.flow(if_)) {
+                    (Some(fp), Some(ff)) => {
+                        prop_assert_eq!(fp.rate.to_bits(), ff.rate.to_bits(),
+                            "rate diverged: {} vs {}", fp.rate, ff.rate);
+                        prop_assert_eq!(fp.remaining.to_bits(), ff.remaining.to_bits(),
+                            "remaining diverged: {} vs {}", fp.remaining, ff.remaining);
+                    }
+                    (a, b) => prop_assert_eq!(a.is_some(), b.is_some(), "liveness diverged"),
+                }
+            }
+        }
+        // Byte accounting agrees bitwise on every touched resource,
+        // including the ToR uplinks and the spine.
+        for rid in touched {
+            prop_assert_eq!(
+                part.carried_bytes(rid).to_bits(),
+                full.carried_bytes(rid).to_bits(),
+                "carried bytes diverged on {}", rid
+            );
+        }
+        // The partitioned mode actually skipped work on rack-local sets:
+        // never *more* component solves than the flat mode.
+        prop_assert!(
+            part.solver_stats().comps_solved <= full.solver_stats().comps_solved,
+            "partitioned solved more components than flat"
+        );
+    }
+
+    /// Cancellation interleavings do not break the equivalence either.
+    #[test]
+    fn modes_agree_under_cancellation(
+        xfers in prop::collection::vec(rand_xfer(64), 2..16),
+        kill in prop::collection::vec(0usize..1usize << 30, 1..6),
+    ) {
+        let (mut part, cp) = build(SolveMode::Partitioned);
+        let (mut full, cf) = build(SolveMode::Full);
+        let mut ids = Vec::new();
+        for x in &xfers {
+            let sp = cp.path(x.src, x.dst).flow(x.bytes);
+            let sf = cf.path(x.src, x.dst).flow(x.bytes);
+            ids.push((part.start_flow(sp), full.start_flow(sf)));
+        }
+        for k in &kill {
+            let (ip, if_) = ids[k % ids.len()];
+            part.cancel_flow(ip);
+            full.cancel_flow(if_);
+            prop_assert_eq!(
+                part.next_change().map(|t| t.as_nanos()),
+                full.next_change().map(|t| t.as_nanos())
+            );
+        }
+        let mut guard = 0;
+        while let Some(t) = part.next_change() {
+            guard += 1;
+            prop_assert!(guard < 10_000);
+            prop_assert_eq!(Some(t.as_nanos()), full.next_change().map(|x| x.as_nanos()));
+            part.advance_to(t);
+            full.advance_to(t);
+            prop_assert_eq!(part.take_completed(), full.take_completed());
+        }
+        prop_assert_eq!(full.next_change(), None);
+        prop_assert_eq!(part.flow_count(), full.flow_count());
+    }
+}

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calq;
 mod faults;
 mod flow;
 mod flownet;
@@ -59,9 +60,10 @@ mod telemetry;
 mod time;
 pub mod trace;
 
+pub use calq::CalendarQueue;
 pub use faults::{FaultEvent, FaultKind, FaultPhase, FaultPlan, FaultRecord, FaultTarget};
 pub use flow::{Flow, FlowId, FlowSpec};
-pub use flownet::{FlowNet, Resource, ResourceId};
+pub use flownet::{set_default_solve_mode, FlowNet, Resource, ResourceId, SolveMode, SolverStats};
 pub use sim::{Event, Simulator, Token, TOKEN_KIND_MASK, TOKEN_SCOPE_SHIFT};
 pub use telemetry::{AnnotatedSample, UtilizationProbe};
 pub use time::{SimDuration, SimTime};

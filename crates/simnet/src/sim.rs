@@ -1,13 +1,12 @@
 //! Combined event loop: user timers interleaved with flow completions.
 
+use crate::calq::CalendarQueue;
 use crate::faults::{FaultInjector, FaultPlan, FaultRecord};
 use crate::flow::{FlowId, FlowSpec};
 use crate::flownet::FlowNet;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{track, TraceSink};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// An opaque, `Copy` event payload for simulator timers.
 ///
@@ -71,18 +70,13 @@ pub enum Event {
     Fault(FaultRecord),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    token: Token,
-}
-
-/// Discrete-event simulator combining a timer heap with a [`FlowNet`].
+/// Discrete-event simulator combining a timer wheel with a [`FlowNet`].
 ///
 /// Events are delivered in time order; ties are broken deterministically
 /// (timers before flow completions at the same instant, timers in scheduling
-/// order, flows in start order).
+/// order, flows in start order). Timers live in the same indexed
+/// [`CalendarQueue`] structure the network uses for completion predictions,
+/// so the per-event cost stays O(1) amortized at any fleet size.
 ///
 /// # Example
 /// ```
@@ -96,8 +90,7 @@ struct TimerEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     net: FlowNet,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    seq: u64,
+    timers: CalendarQueue<Token>,
     /// Flow completions discovered together but not yet handed out.
     pending_flows: Vec<FlowId>,
     /// Compiled link-fault schedule (empty when no plan is installed).
@@ -109,6 +102,9 @@ pub struct Simulator {
     /// Current token/flow scope (0 = unscoped). See
     /// [`Simulator::set_token_scope`].
     token_scope: u32,
+    /// Bits of the last `active_flows` counter sample, for dedup: the
+    /// counter is re-emitted only on an actual flow-count transition.
+    last_flow_counter: Option<u64>,
 }
 
 impl Simulator {
@@ -156,8 +152,7 @@ impl Simulator {
             );
             token.kind |= self.token_scope << TOKEN_SCOPE_SHIFT;
         }
-        self.seq += 1;
-        self.timers.push(Reverse(TimerEntry { at, seq: self.seq, token }));
+        self.timers.push(at.as_nanos(), token);
     }
 
     /// Arms (or with `0` clears) the *token scope*: every timer scheduled and
@@ -188,10 +183,7 @@ impl Simulator {
             spec.tag = self.token_scope;
         }
         let id = self.net.start_flow(spec);
-        if self.trace.is_enabled() {
-            let (t, n) = (self.now(), self.net.flow_count() as f64);
-            self.trace.counter(t, track::NET, "active_flows", n);
-        }
+        self.emit_flow_counter();
         id
     }
 
@@ -200,11 +192,26 @@ impl Simulator {
     /// the flow is unknown or already finished.
     pub fn cancel_flow(&mut self, id: FlowId) -> bool {
         let cancelled = self.net.cancel_flow(id);
-        if cancelled && self.trace.is_enabled() {
-            let (t, n) = (self.now(), self.net.flow_count() as f64);
-            self.trace.counter(t, track::NET, "active_flows", n);
+        if cancelled {
+            self.emit_flow_counter();
         }
         cancelled
+    }
+
+    /// Samples the `active_flows` trace counter if its value changed since
+    /// the last sample. Called after every operation that can move the
+    /// flow count — starts, cancellations, activations and completions — so
+    /// Perfetto flow-count curves are exact between completions too.
+    fn emit_flow_counter(&mut self) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let n = self.net.active_flow_count() as f64;
+        if self.last_flow_counter == Some(n.to_bits()) {
+            return;
+        }
+        self.last_flow_counter = Some(n.to_bits());
+        self.trace.counter(self.now(), track::NET, "active_flows", n);
     }
 
     /// Arms the structured trace sink; see [`crate::trace`]. Until this is
@@ -302,52 +309,65 @@ impl Simulator {
         if let Some(id) = self.pending_flows.pop() {
             return Some((self.now(), Event::FlowCompleted(id)));
         }
-        let t_timer = self.timers.peek().map(|e| e.0.at);
-        let t_flow = self.net.next_change();
-        // Faults preempt both timers and flow events at the same instant so
-        // that handlers always observe post-fault capacities.
-        if let Some(tf) = self.faults.next_at() {
-            let beats_timer = t_timer.is_none_or(|tt| tf <= tt);
-            let beats_flow = t_flow.is_none_or(|tl| tf <= tl);
-            if beats_timer && beats_flow {
-                self.net.advance_to(tf);
-                let rec = self.faults.apply_next(&mut self.net);
-                self.fault_log.push((tf, rec));
-                if self.trace.is_enabled() {
-                    let name = format!("fault {:?} r{}", rec.phase, rec.resource.as_u32());
-                    self.trace.instant(tf, track::NET, 0, &name, "fault", Some(rec.capacity_after));
+        // Iterative, not recursive: a network change can be an activation
+        // with no completion to deliver, and arbitrarily long chains of
+        // staggered flow latencies must not grow the stack.
+        loop {
+            let t_timer = self.timers.peek_time().map(SimTime::from_nanos);
+            let t_flow = self.net.next_change();
+            // Faults preempt both timers and flow events at the same instant
+            // so that handlers always observe post-fault capacities.
+            if let Some(tf) = self.faults.next_at() {
+                let beats_timer = t_timer.is_none_or(|tt| tf <= tt);
+                let beats_flow = t_flow.is_none_or(|tl| tf <= tl);
+                if beats_timer && beats_flow {
+                    self.net.advance_to(tf);
+                    self.emit_flow_counter();
+                    let rec = self.faults.apply_next(&mut self.net);
+                    self.fault_log.push((tf, rec));
+                    if self.trace.is_enabled() {
+                        let name = format!("fault {:?} r{}", rec.phase, rec.resource.as_u32());
+                        self.trace.instant(
+                            tf,
+                            track::NET,
+                            0,
+                            &name,
+                            "fault",
+                            Some(rec.capacity_after),
+                        );
+                    }
+                    return Some((tf, Event::Fault(rec)));
                 }
-                return Some((tf, Event::Fault(rec)));
             }
-        }
-        match (t_timer, t_flow) {
-            (None, None) => None,
-            (Some(tt), tf) if tf.is_none_or(|tf| tt <= tf) => {
-                let entry = self.timers.pop().expect("peeked").0;
-                self.net.advance_to(entry.at);
-                Some((entry.at, Event::Timer(entry.token)))
-            }
-            (_, Some(tf)) => {
-                self.net.advance_to(tf);
-                let mut done = self.net.take_completed();
-                if done.is_empty() {
-                    // The change was a flow activation, not a completion;
-                    // recurse to find the next real event.
-                    return self.next_event();
+            match (t_timer, t_flow) {
+                (None, None) => return None,
+                (Some(tt), tf) if tf.is_none_or(|tf| tt <= tf) => {
+                    let (at_ns, token) = self.timers.pop().expect("peeked");
+                    let at = SimTime::from_nanos(at_ns);
+                    self.net.advance_to(at);
+                    self.emit_flow_counter();
+                    return Some((at, Event::Timer(token)));
                 }
-                // Deliver in start order: pop() takes from the back.
-                done.reverse();
-                self.pending_flows = done;
-                if self.trace.is_enabled() {
-                    let (t, n) = (self.now(), self.net.flow_count() as f64);
-                    self.trace.counter(t, track::NET, "active_flows", n);
+                (_, Some(tf)) => {
+                    self.net.advance_to(tf);
+                    let mut done = self.net.take_completed();
+                    if done.is_empty() {
+                        // The change was a flow activation, not a
+                        // completion; sample the counter and keep looking.
+                        self.emit_flow_counter();
+                        continue;
+                    }
+                    // Deliver in start order: pop() takes from the back.
+                    done.reverse();
+                    self.pending_flows = done;
+                    self.emit_flow_counter();
+                    let id = self.pending_flows.pop().expect("nonempty");
+                    return Some((self.now(), Event::FlowCompleted(id)));
                 }
-                let id = self.pending_flows.pop().expect("nonempty");
-                Some((self.now(), Event::FlowCompleted(id)))
+                // (Some, None) with a failed guard cannot happen: the guard
+                // always passes when there is no flow event.
+                (Some(_), None) => unreachable!(),
             }
-            // (Some, None) with a failed guard cannot happen: the guard always
-            // passes when there is no flow event.
-            (Some(_), None) => unreachable!(),
         }
     }
 
@@ -441,5 +461,55 @@ mod tests {
     #[test]
     fn empty_sim_yields_none() {
         assert!(Simulator::new().next_event().is_none());
+    }
+
+    #[test]
+    fn activation_only_chains_do_not_overflow_stack() {
+        // Regression: next_event used to recurse on activation-only network
+        // changes, so thousands of consecutive staggered flow latencies
+        // overflowed the stack. Each flow sits on its own resource in its
+        // own solver group, so each activation re-solves a one-flow
+        // component and the chain cost stays O(1) per event.
+        let mut sim = Simulator::new();
+        let n: u64 = 20_000;
+        for i in 0..n {
+            let r = sim.net_mut().add_resource_in_group(format!("r{i}"), 1.0, i as u32);
+            // All flows transfer for ~1s; activations are staggered 1ns
+            // apart, so the first completion comes after every activation.
+            sim.start_flow(
+                FlowSpec::new(vec![r], 1.0).with_latency(SimDuration::from_nanos(i + 1)),
+            );
+        }
+        // One next_event call must chew through all n activation-only
+        // changes iteratively before yielding the first completion.
+        let (t, ev) = sim.next_event().unwrap();
+        assert!(matches!(ev, Event::FlowCompleted(_)));
+        assert!(t.as_secs_f64() > 1.0);
+        let mut completions = 1;
+        while let Some((_, ev)) = sim.next_event() {
+            assert!(matches!(ev, Event::FlowCompleted(_)));
+            completions += 1;
+        }
+        assert_eq!(completions, n);
+    }
+
+    #[test]
+    fn flow_counter_emitted_on_every_transition() {
+        let mut sim = Simulator::new();
+        sim.enable_tracing();
+        let r = sim.net_mut().add_resource("l", 10.0);
+        // One immediate flow, one delayed: the counter must step on the
+        // start (1), the activation (2), and each completion (1, then 0).
+        sim.start_flow(FlowSpec::new(vec![r], 10.0));
+        sim.start_flow(FlowSpec::new(vec![r], 40.0).with_latency(SimDuration::from_millis(1)));
+        while sim.next_event().is_some() {}
+        let counters: Vec<f64> = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.phase == crate::trace::TracePhase::Counter && e.name == "active_flows")
+            .filter_map(|e| e.value)
+            .collect();
+        assert_eq!(counters, vec![1.0, 2.0, 1.0, 0.0], "got {counters:?}");
     }
 }

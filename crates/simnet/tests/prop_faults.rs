@@ -146,6 +146,18 @@ proptest! {
             (carried - total).abs() <= total * 1e-6 + 1e-6,
             "bytes not conserved: carried {carried}, sent {total}"
         );
+        // On a single-hop network with one tag the per-resource carried
+        // counter and the per-tag delivered counter account the same bytes
+        // through the same additions, so they must agree *bitwise* — the
+        // infinite-rate settle branch used to skip the carried credit.
+        let delivered = sim.net_mut().delivered_bytes_by_tag(0);
+        prop_assert_eq!(
+            carried.to_bits(),
+            delivered.to_bits(),
+            "carried {} != delivered {}",
+            carried,
+            delivered
+        );
     }
 
     /// Mutating capacities and then restoring them — without any time

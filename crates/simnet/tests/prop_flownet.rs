@@ -155,6 +155,74 @@ proptest! {
         prop_assert_eq!(unique.len(), dead.len(), "flow ids were reused");
     }
 
+    /// Stale calendar-queue entries never deliver: arbitrary interleavings
+    /// of starts, cancellations and capacity mutations leave thousands of
+    /// invalidated completion predictions in the event queue, yet every
+    /// surviving flow completes exactly once, no cancelled flow ever
+    /// completes, and no completion arrives for a reused slot's previous
+    /// tenant (the queue-entry analogue of slab no-resurrection).
+    #[test]
+    fn stale_event_queue_entries_never_deliver(
+        waves in prop::collection::vec(
+            prop::collection::vec((1.0..1e4f64, 0u64..1_000_000, any::<bool>()), 1..8),
+            2..6,
+        ),
+        factors in prop::collection::vec(0.1..1.5f64, 1..8),
+    ) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource("link", 1e4);
+        let mut cancelled = std::collections::BTreeSet::new();
+        let mut completed = std::collections::BTreeSet::new();
+        let mut expect = std::collections::BTreeSet::new();
+        for (fi, wave) in waves.iter().enumerate() {
+            let mut live = Vec::new();
+            for &(bytes, lat_ns, cancel) in wave {
+                let id = net.start_flow(
+                    FlowSpec::new(vec![r], bytes).with_latency(SimDuration::from_nanos(lat_ns)),
+                );
+                live.push((id, cancel));
+            }
+            // Each rate change invalidates every queued completion
+            // prediction for the link's flows.
+            let f = factors[fi % factors.len()];
+            net.set_capacity(r, 1e4 * f);
+            for &(id, cancel) in &live {
+                if cancel {
+                    net.cancel_flow(id);
+                    cancelled.insert(id);
+                } else {
+                    expect.insert(id);
+                }
+            }
+            // Drain halfway: step a bounded number of changes so stale
+            // entries from this wave survive into the next.
+            for _ in 0..3 {
+                if let Some(t) = net.next_change() {
+                    net.advance_to(t);
+                    for id in net.take_completed() {
+                        prop_assert!(completed.insert(id), "duplicate completion {id}");
+                    }
+                }
+            }
+        }
+        net.set_capacity(r, 1e4);
+        let mut guard = 0;
+        while let Some(t) = net.next_change() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+            net.advance_to(t);
+            for id in net.take_completed() {
+                prop_assert!(completed.insert(id), "duplicate completion {id}");
+            }
+        }
+        prop_assert!(
+            completed.intersection(&cancelled).next().is_none(),
+            "a cancelled flow completed"
+        );
+        prop_assert_eq!(&completed, &expect, "completion set mismatch");
+        prop_assert_eq!(net.flow_count(), 0);
+    }
+
     /// Single saturating flow on one link finishes at exactly bytes/capacity
     /// (+ latency), regardless of cap >= capacity.
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! aiacc-sim [--model NAME] [--gpus N] [--engine aiacc|horovod|ddp|byteps|kvstore]
 //!           [--streams N] [--granularity MIB] [--batch N] [--rdma]
+//!           [--racks NODES_PER_RACK] [--flat-solver]
 //!           [--compression] [--tree] [--tune BUDGET] [--iters N]
 //!           [--faults degrade|flap|straggler|crash] [--trace OUT.json]
 //!           [--jobs N]
@@ -24,6 +25,14 @@
 //! worker threads parallel sweeps — e.g. the `--tune` batch evaluations, or
 //! `schedule --policy all`'s per-policy fan-out — may use. Results are
 //! bit-identical regardless of the worker count.
+//!
+//! `--racks N` packs nodes into racks of `N` behind 2:1-oversubscribed ToR
+//! uplinks and a shared spine, so cross-rack gradient traffic contends the
+//! way it does on a real datacenter fabric (the default is a flat,
+//! single-tier network). `--flat-solver` (or `AIACC_SOLVER=flat`) disables
+//! the partitioned rack-by-rack fluid solver in favour of the flat
+//! whole-network solve — results are bit-identical either way; the flag
+//! exists for benchmarking and for the CI equivalence check.
 //!
 //! Examples:
 //! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
@@ -47,6 +56,8 @@ struct Args {
     granularity_mib: Option<f64>,
     batch: Option<usize>,
     rdma: bool,
+    racks: Option<usize>,
+    flat_solver: bool,
     compression: bool,
     tree: bool,
     tune: Option<usize>,
@@ -101,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         granularity_mib: None,
         batch: None,
         rdma: false,
+        racks: None,
+        flat_solver: false,
         compression: false,
         tree: false,
         tune: None,
@@ -131,6 +144,14 @@ fn parse_args() -> Result<Args, String> {
                 args.batch = Some(value(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?)
             }
             "--rdma" => args.rdma = true,
+            "--racks" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("--racks: {e}"))?;
+                if n == 0 {
+                    return Err("--racks needs a positive nodes-per-rack count".to_string());
+                }
+                args.racks = Some(n);
+            }
+            "--flat-solver" => args.flat_solver = true,
             "--compression" => args.compression = true,
             "--tree" => args.tree = true,
             "--tune" => {
@@ -151,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: aiacc-sim [--model NAME] [--gpus N] [--engine E] \
                             [--streams N] [--granularity MIB] [--batch N] [--rdma] \
+                            [--racks NODES_PER_RACK] [--flat-solver] \
                             [--compression] [--tree] [--tune BUDGET] [--iters N] \
                             [--faults degrade|flap|straggler|crash] [--trace OUT.json] \
                             [--jobs N]\n       aiacc-sim schedule ... \
@@ -173,6 +195,8 @@ struct SchedArgs {
     mix: String,
     iters: usize,
     rdma: bool,
+    racks: Option<usize>,
+    flat_solver: bool,
     load: Option<String>,
     save: Option<String>,
     trace: Option<String>,
@@ -204,6 +228,8 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
         mix: "comm-heavy".to_string(),
         iters: 6,
         rdma: false,
+        racks: None,
+        flat_solver: false,
         load: None,
         save: None,
         trace: None,
@@ -243,6 +269,14 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
                 args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?
             }
             "--rdma" => args.rdma = true,
+            "--racks" => {
+                let n: usize = value(&mut i)?.parse().map_err(|e| format!("--racks: {e}"))?;
+                if n == 0 {
+                    return Err("--racks needs a positive nodes-per-rack count".to_string());
+                }
+                args.racks = Some(n);
+            }
+            "--flat-solver" => args.flat_solver = true,
             "--load" => args.load = Some(value(&mut i)?),
             "--save" => args.save = Some(value(&mut i)?),
             "--trace" => args.trace = Some(value(&mut i)?),
@@ -291,6 +325,7 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
                 return Err("usage: aiacc-sim schedule [--policy packed|spread|topo|all] \
                             [--njobs N] [--seed S] [--gpus N] [--engine E] \
                             [--mix comm-heavy|mixed|tiny] [--iters N] [--rdma] \
+                            [--racks NODES_PER_RACK] [--flat-solver] \
                             [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json] [--jobs N] \
                             [--chaos] [--chaos-events N] [--chaos-horizon SECS] \
                             [--recovery restart|shrink|fail]\n       \
@@ -332,11 +367,7 @@ fn sched_render(report: &aiacc::sched::MultiJobReport) -> String {
 /// byte-identical to the uninterrupted run.
 fn cmd_schedule_stream(args: &SchedArgs) -> Result<(), String> {
     use aiacc::sched::stream::{ArrivalCfg, ArrivalProcess, StreamCfg, StreamSim};
-    let cluster = if args.rdma {
-        ClusterSpec::rdma_v100(args.gpus)
-    } else {
-        ClusterSpec::tcp_v100(args.gpus)
-    };
+    let cluster = sched_cluster(args);
     let policy = PlacePolicy::by_name(&args.policy)
         .ok_or_else(|| format!("unknown policy {}; use packed|spread|topo", args.policy))?;
     let recovery = aiacc::sched::RecoveryPolicy::by_name(&args.recovery).ok_or_else(|| {
@@ -428,19 +459,32 @@ fn cmd_schedule_stream(args: &SchedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the cluster selected by the shared `--gpus/--rdma/--racks` flags.
+fn sched_cluster(args: &SchedArgs) -> ClusterSpec {
+    let mut cluster = if args.rdma {
+        ClusterSpec::rdma_v100(args.gpus)
+    } else {
+        ClusterSpec::tcp_v100(args.gpus)
+    };
+    if let Some(n) = args.racks {
+        let nic = cluster.node.nic;
+        cluster = cluster.with_rack_layer(aiacc::cluster::RackSpec::oversubscribed_2to1(n, &nic));
+    }
+    cluster
+}
+
 fn cmd_schedule(argv: &[String]) -> Result<(), String> {
     let args = parse_sched_args(argv)?;
     if let Some(n) = args.jobs {
         aiacc::simnet::par::set_jobs(n);
     }
+    if args.flat_solver {
+        aiacc::simnet::set_default_solve_mode(aiacc::simnet::SolveMode::Full);
+    }
     if args.stream {
         return cmd_schedule_stream(&args);
     }
-    let cluster = if args.rdma {
-        ClusterSpec::rdma_v100(args.gpus)
-    } else {
-        ClusterSpec::tcp_v100(args.gpus)
-    };
+    let cluster = sched_cluster(&args);
     let recovery = aiacc::sched::RecoveryPolicy::by_name(&args.recovery).ok_or_else(|| {
         format!("unknown recovery policy {}; use restart|shrink|fail", args.recovery)
     })?;
@@ -556,6 +600,9 @@ fn main() {
     if let Some(n) = args.jobs {
         aiacc::simnet::par::set_jobs(n);
     }
+    if args.flat_solver {
+        aiacc::simnet::set_default_solve_mode(aiacc::simnet::SolveMode::Full);
+    }
     let Some(model) = zoo::by_name(&args.model) else {
         eprintln!(
             "unknown model {}; available: vgg16 resnet50 resnet101 transformer bert_large \
@@ -564,11 +611,15 @@ fn main() {
         );
         std::process::exit(2);
     };
-    let cluster = if args.rdma {
+    let mut cluster = if args.rdma {
         ClusterSpec::rdma_v100(args.gpus)
     } else {
         ClusterSpec::tcp_v100(args.gpus)
     };
+    if let Some(n) = args.racks {
+        let nic = cluster.node.nic;
+        cluster = cluster.with_rack_layer(aiacc::cluster::RackSpec::oversubscribed_2to1(n, &nic));
+    }
 
     let fault_plan = match args.faults.as_deref() {
         Some(name) => match fault_scenario(name, cluster.nodes) {

@@ -9,14 +9,16 @@
 
 use proc_macro::TokenStream;
 
-/// Stub `#[derive(Serialize)]`: expands to nothing.
-#[proc_macro_derive(Serialize)]
+/// Stub `#[derive(Serialize)]`: expands to nothing. Registers the `serde`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Stub `#[derive(Deserialize)]`: expands to nothing.
-#[proc_macro_derive(Deserialize)]
+/// Stub `#[derive(Deserialize)]`: expands to nothing. Registers the `serde`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
