@@ -24,6 +24,14 @@
 //! (c) hash equality between the partitioned solver and the flat
 //! (`Full`-mode) solver on the 64-node cell, and (d) the optional wall
 //! budget.
+//!
+//! A second, *bulk-synchronous* workload (uniform-byte rounds with a
+//! driver-side barrier, see [`run_sync_cell`]) exercises single-run
+//! multicore solving: it runs at solver worker counts 1/2/4 plus a flat
+//! oracle, asserts hash equality across all four unconditionally, and —
+//! on hosts with ≥4 CPUs — gates a ≥2× wall-clock speedup of 4 workers
+//! over 1. All machine-dependent numbers live under `"timing"` keys, which
+//! CI freshness comparison strips.
 
 use aiacc_cluster::{ClusterNet, ClusterSpec, GpuSpec, NicSpec, NodeSpec, RackSpec};
 use aiacc_simnet::{par, Event, FlowId, SimDuration, SimTime, Simulator, SolveMode, Token};
@@ -81,8 +89,15 @@ struct CellResult {
     recomputes: u64,
     comps_solved: u64,
     comps_existing: u64,
+    /// Largest single component (participant flows) the solver ever saw.
+    comp_parts_max: u64,
+    /// Not compared: parallel fan-outs taken (differs across worker counts
+    /// by design; every other solver counter is worker-independent).
+    par_solves: u64,
     /// Not compared: wall time is machine- and load-dependent.
     wall_s: f64,
+    /// Not compared: per-phase wall time (solve vs apply vs queue).
+    breakdown: aiacc_simnet::SolveBreakdown,
 }
 
 impl CellResult {
@@ -224,7 +239,10 @@ fn run_cell(nodes: usize, horizon: SimDuration, mode: SolveMode) -> CellResult {
         recomputes: stats.recomputes,
         comps_solved: stats.comps_solved,
         comps_existing: stats.comps_existing,
+        comp_parts_max: stats.comp_parts_max,
+        par_solves: stats.par_solves,
         wall_s: started.elapsed().as_secs_f64(),
+        breakdown: sim.net_mut().solve_breakdown(),
     }
 }
 
@@ -232,6 +250,103 @@ fn run_curve(cells: &[(usize, f64)]) -> Vec<CellResult> {
     par::map(cells, |&(nodes, sim_s)| {
         run_cell(nodes, SimDuration::from_secs_f64(sim_s), SolveMode::Partitioned)
     })
+}
+
+/// Streams per node in the bulk-synchronous cell — same 102 400 concurrent
+/// flows at 1024 nodes as the steady-state workload.
+const SYNC_STREAMS_PER_NODE: usize = 100;
+/// Per-stream rate-cap tiers as fractions of the equal-split fair share
+/// (`0.0` = uncapped). Capped tiers finish a round's uniform transfer at
+/// staggered instants, so each round produces four *simultaneous* bursts of
+/// ~a quarter of all flows — the bulk-synchronous shape a synchronized
+/// all-reduce round imposes, and the shape that exercises both parallel
+/// seams at once (batched settles + many-dirty-component solves).
+const SYNC_TIERS: [f64; 4] = [0.4, 0.6, 0.8, 0.0];
+
+/// One bulk-synchronous cell: every node keeps `SYNC_STREAMS_PER_NODE`
+/// streams to its xor-pair neighbour; all streams of a round move the same
+/// byte count and the next round launches only when every stream of the
+/// current one has completed (a driver-side barrier, like sync-SGD). Runs
+/// with a *fixed* solver worker count so the multicore section can compare
+/// worker counts on identical work.
+fn run_sync_cell(nodes: usize, rounds: u64, mode: SolveMode, solve_workers: usize) -> CellResult {
+    let started = Instant::now();
+    let mut sim = Simulator::new();
+    sim.net_mut().set_solve_mode(mode);
+    sim.net_mut().set_solve_workers(Some(solve_workers));
+    let node = NodeSpec { gpus_per_node: 1, gpu: GpuSpec::v100(), nic: NicSpec::tcp_30gbps() };
+    let spec = ClusterSpec::new(nodes, node)
+        .with_rack_layer(RackSpec::oversubscribed_2to1(NODES_PER_RACK, &NicSpec::tcp_30gbps()));
+    let racks = spec.nracks();
+    let cluster = ClusterNet::build(&spec, sim.net_mut());
+
+    let total = nodes * SYNC_STREAMS_PER_NODE;
+    let fair = 3.75e9 / SYNC_STREAMS_PER_NODE as f64;
+    let mut by_flow: HashMap<FlowId, usize> = HashMap::with_capacity(total);
+    let launch_round = |sim: &mut Simulator, by_flow: &mut HashMap<FlowId, usize>, round: u64| {
+        // Uniform bytes per round (varied across rounds): within a cap
+        // tier every flow finishes at the same instant.
+        let bytes = fair * (0.04 + 0.02 * frac(round));
+        for s in 0..total {
+            let (n, k) = (s / SYNC_STREAMS_PER_NODE, s % SYNC_STREAMS_PER_NODE);
+            let mut fs = cluster.node_path(n, n ^ 1).flow(bytes);
+            let tier = SYNC_TIERS[k % SYNC_TIERS.len()];
+            if tier > 0.0 {
+                fs = fs.with_rate_cap(fair * tier);
+            }
+            by_flow.insert(sim.start_flow(fs), s);
+        }
+    };
+
+    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let (mut events, mut completions, mut peak_flows) = (0u64, 0u64, 0usize);
+    let (mut round, mut live) = (0u64, total);
+    let mut end = SimTime::ZERO;
+    launch_round(&mut sim, &mut by_flow, round);
+    // Sample concurrency at round start: completed flows free their slots
+    // during the event drain, before the driver sees the completions.
+    peak_flows = peak_flows.max(sim.net_mut().flow_count());
+    while let Some((t, ev)) = sim.next_event() {
+        events += 1;
+        match ev {
+            Event::FlowCompleted(id) => {
+                let s = by_flow.remove(&id).expect("unknown flow completed");
+                completions += 1;
+                live -= 1;
+                fnv1a(&mut hash, t.as_nanos());
+                fnv1a(&mut hash, 1);
+                fnv1a(&mut hash, s as u64);
+                if live == 0 {
+                    end = t;
+                    round += 1;
+                    if round < rounds {
+                        launch_round(&mut sim, &mut by_flow, round);
+                        live = total;
+                        peak_flows = peak_flows.max(sim.net_mut().flow_count());
+                    }
+                }
+            }
+            _ => unreachable!("sync cell schedules no timers or faults"),
+        }
+    }
+
+    let stats = sim.net_mut().solver_stats();
+    CellResult {
+        nodes,
+        racks,
+        sim_s: (end - SimTime::ZERO).as_secs_f64(),
+        peak_flows,
+        events,
+        completions,
+        hash,
+        recomputes: stats.recomputes,
+        comps_solved: stats.comps_solved,
+        comps_existing: stats.comps_existing,
+        comp_parts_max: stats.comp_parts_max,
+        par_solves: stats.par_solves,
+        wall_s: started.elapsed().as_secs_f64(),
+        breakdown: sim.net_mut().solve_breakdown(),
+    }
 }
 
 fn main() {
@@ -284,6 +399,27 @@ fn main() {
 
     let big = sweep.iter().max_by_key(|c| c.nodes).expect("at least one cell");
 
+    // Multicore section: the bulk-synchronous 1024-node cell at solver
+    // worker counts 1/2/4, plus a flat-solver oracle. Hash identity across
+    // all four runs is asserted unconditionally (pool threads run even on a
+    // 1-CPU host); the ≥2× speedup gate needs real cores.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sync_nodes = big.nodes;
+    let sync_rounds: u64 = if quick { 3 } else { 12 };
+    let worker_counts = [1usize, 2, 4];
+    let mut sync_runs = Vec::with_capacity(worker_counts.len());
+    for &w in &worker_counts {
+        eprintln!("[bench_scale] sync-round cell ({sync_nodes}n, {sync_rounds} rounds), {w} solver worker(s)...");
+        sync_runs.push(run_sync_cell(sync_nodes, sync_rounds, SolveMode::Partitioned, w));
+    }
+    eprintln!("[bench_scale] sync-round cell, flat solver oracle...");
+    let sync_full = run_sync_cell(sync_nodes, sync_rounds, SolveMode::Full, 4);
+    let sync_identical =
+        sync_runs.iter().all(|r| r.deterministic() == sync_runs[0].deterministic())
+            && sync_full.deterministic() == sync_runs[0].deterministic();
+    let speedup = sync_runs[0].wall_s / sync_runs.last().expect("worker sweep").wall_s;
+    let gate_enforced = host_cpus >= 4;
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"scenario\": {{");
@@ -311,8 +447,10 @@ fn main() {
             "    {{ \"nodes\": {}, \"racks\": {}, \"sim_s\": {}, \"peak_flows\": {}, \
              \"events\": {}, \"completions\": {}, \"event_hash\": \"{:016x}\", \
              \"solver_recomputes\": {}, \"comps_solved\": {}, \"comps_existing\": {}, \
-             \"comp_solve_ratio\": {:.4},\n      \"timing\": {{ \"wall_s\": {:.3}, \
-             \"wall_per_sim_s\": {:.3}, \"events_per_wall_s\": {:.0} }} }}{comma}",
+             \"comp_solve_ratio\": {:.4}, \"comp_parts_max\": {},\n      \
+             \"timing\": {{ \"wall_s\": {:.3}, \"wall_per_sim_s\": {:.3}, \
+             \"events_per_wall_s\": {:.0}, \"solve_s\": {:.3}, \"apply_s\": {:.3}, \
+             \"queue_s\": {:.3} }} }}{comma}",
             c.nodes,
             c.racks,
             c.sim_s,
@@ -324,9 +462,13 @@ fn main() {
             c.comps_solved,
             c.comps_existing,
             c.solve_ratio(),
+            c.comp_parts_max,
             c.wall_s,
             c.wall_per_sim_s(),
             c.events as f64 / c.wall_s,
+            c.breakdown.solve_s,
+            c.breakdown.apply_s,
+            c.breakdown.queue_s,
         );
     }
     let _ = writeln!(json, "  ],");
@@ -348,6 +490,46 @@ fn main() {
     );
     let _ = writeln!(json, "      \"ci scale-smoke (hierarchical vs flat byte diff)\"");
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"multicore\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"bulk-synchronous rounds: {SYNC_STREAMS_PER_NODE} uniform-byte \
+         streams per node in {} rate-cap tiers, driver-side barrier between rounds\",",
+        SYNC_TIERS.len()
+    );
+    let _ = writeln!(json, "    \"nodes\": {sync_nodes},");
+    let _ = writeln!(json, "    \"rounds\": {sync_rounds},");
+    let s0 = &sync_runs[0];
+    let _ = writeln!(json, "    \"peak_flows\": {},", s0.peak_flows);
+    let _ = writeln!(json, "    \"events\": {},", s0.events);
+    let _ = writeln!(json, "    \"completions\": {},", s0.completions);
+    let _ = writeln!(json, "    \"event_hash\": \"{:016x}\",", s0.hash);
+    let _ = writeln!(
+        json,
+        "    \"solver_workers_compared\": [{}],",
+        worker_counts.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(json, "    \"bit_identical_across_workers_and_flat\": {sync_identical},");
+    let _ = writeln!(
+        json,
+        "    \"par_solves_by_workers\": [{}],",
+        sync_runs.iter().map(|r| r.par_solves.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(json, "    \"timing\": {{");
+    let _ = writeln!(json, "      \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "      \"wall_s_by_workers\": [{}],",
+        sync_runs.iter().map(|r| format!("{:.3}", r.wall_s)).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(json, "      \"speedup_4_workers_vs_1\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "      \"speedup_gate\": \"{}\"",
+        if gate_enforced { ">= 2.0 (enforced)" } else { "skipped: host_cpus < 4" }
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"determinism\": {{");
     let _ = writeln!(json, "    \"bit_identical_across_jobs_1_and_{jobs}\": {identical}");
@@ -376,6 +558,33 @@ fn main() {
         "1024-node cell peaked at {} concurrent flows (< 100k)",
         big.peak_flows
     );
+    assert!(
+        sync_identical,
+        "sync-round cell diverged across solver worker counts or vs the flat solver"
+    );
+    assert!(
+        sync_runs.last().expect("worker sweep").par_solves > 0,
+        "4-worker sync cell never took the parallel solve path"
+    );
+    if sync_nodes >= 1024 {
+        assert!(
+            s0.peak_flows >= 100_000,
+            "sync cell peaked at {} concurrent flows (< 100k)",
+            s0.peak_flows
+        );
+    }
+    if gate_enforced {
+        assert!(
+            speedup >= 2.0,
+            "4 solver workers gave only {speedup:.2}x over 1 on a {host_cpus}-CPU host \
+             (gate: >= 2.0x)"
+        );
+    } else {
+        eprintln!(
+            "[bench_scale] speedup gate skipped: host has {host_cpus} CPU(s) < 4 \
+             (measured {speedup:.2}x)"
+        );
+    }
     if let Some(budget) = wall_budget {
         assert!(
             big.wall_per_sim_s() <= budget,

@@ -45,7 +45,7 @@ use aiacc_dnn::{zoo, DType, GradId, ModelProfile};
 use aiacc_simnet::trace::track;
 use aiacc_simnet::{
     Event, FaultPhase, FaultPlan, FaultRecord, FaultTarget, FlowId, SimDuration, SimTime,
-    Simulator, Token,
+    Simulator, SolverStats, Token,
 };
 use aiacc_trainer::recovery::{replay_elastic_join, replay_failure_recovery, RecoveryConfig};
 use aiacc_trainer::{
@@ -298,6 +298,10 @@ pub struct MultiJobReport {
     pub makespan_secs: f64,
     /// Mean NIC transmit utilization over the makespan across all nodes.
     pub fabric_utilization: f64,
+    /// Cumulative fluid-solver counters for the whole scenario. Diagnostic
+    /// only — not part of any TSV rendering, and the `par_*` fields vary
+    /// with the solver worker count.
+    pub solver: SolverStats,
 }
 
 /// One running job's iteration state (the fields `TrainingSim` keeps between
@@ -1342,6 +1346,7 @@ impl MultiJobSim {
             jobs,
             makespan_secs: makespan,
             fabric_utilization,
+            solver: self.sim.net().solver_stats(),
         }
     }
 }

@@ -58,19 +58,23 @@ pub fn jobs() -> usize {
     })
 }
 
-/// Runs `f(0..n)` on up to `jobs` scoped worker threads and returns the
-/// results **in index order**. With `jobs <= 1` (or fewer than two items)
-/// everything runs inline on the caller's thread — the parallel and serial
-/// paths produce identical output by construction, because each slot `i`
-/// holds exactly `f(i)` either way.
+/// Runs `f(0..n)` on up to `jobs` workers of the shared persistent pool
+/// ([`crate::pool`]) and returns the results **in index order**. With
+/// `jobs <= 1` (or fewer than two items) everything runs inline on the
+/// caller's thread — the parallel and serial paths produce identical output
+/// by construction, because each slot `i` holds exactly `f(i)` either way.
 ///
-/// Work is claimed dynamically (an atomic cursor), so stragglers don't
-/// serialize the batch; determinism is unaffected because execution order
-/// never feeds back into any result.
+/// Work is claimed dynamically in chunks (an atomic cursor advanced
+/// `chunk` indices at a time), so stragglers don't serialize the batch and
+/// tiny jobs don't thrash the cursor; determinism is unaffected because
+/// execution order never feeds back into any result. If the pool is
+/// already owned by an enclosing fan-out, the whole map runs inline — a
+/// sweep of simulations each solving on the pool never oversubscribes the
+/// machine.
 ///
 /// # Panics
 /// Panics if `f` panics for any index (worker panics propagate to the
-/// caller when the scope joins).
+/// caller once the fan-out completes).
 pub fn map_indexed<R, F>(n: usize, jobs: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -80,18 +84,20 @@ where
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    // Chunked claiming: aim for ~8 claims per worker so dynamic balancing
+    // survives while cursor traffic stays negligible for large `n`.
+    let chunk = (n / (workers * 8)).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+    crate::pool::run(workers, &|_w| loop {
+        let lo = next.fetch_add(chunk, Ordering::Relaxed);
+        if lo >= n {
+            break;
+        }
+        let hi = (lo + chunk).min(n);
+        for (i, slot) in slots.iter().enumerate().take(hi).skip(lo) {
+            let result = f(i);
+            *slot.lock().expect("result slot poisoned") = Some(result);
         }
     });
     slots

@@ -376,6 +376,19 @@ impl TrainingSim {
         self.engine.aiacc_stats()
     }
 
+    /// Cumulative fluid-solver work counters of the underlying network
+    /// (recomputes, component sizes, parallel fan-outs). Diagnostic only —
+    /// the `par_*` fields vary with the solver worker count.
+    pub fn solver_stats(&self) -> aiacc_simnet::SolverStats {
+        self.sim.net().solver_stats()
+    }
+
+    /// Wall-clock split of solver time (solve vs apply vs queue phases).
+    /// Machine-dependent; never feed it back into reported results.
+    pub fn solve_breakdown(&self) -> aiacc_simnet::SolveBreakdown {
+        self.sim.net().solve_breakdown()
+    }
+
     /// Runs one training iteration, returning its wall-clock duration.
     pub fn run_iteration(&mut self) -> SimDuration {
         SimDuration::from_secs_f64(self.run_iteration_detailed().iter_secs)

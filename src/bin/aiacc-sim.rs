@@ -22,9 +22,13 @@
 //! deterministic TSV.
 //!
 //! `--jobs N` (or the `AIACC_JOBS` environment variable) sets how many
-//! worker threads parallel sweeps — e.g. the `--tune` batch evaluations, or
-//! `schedule --policy all`'s per-policy fan-out — may use. Results are
-//! bit-identical regardless of the worker count.
+//! worker threads the shared persistent pool may use. It accelerates both
+//! parallel sweeps — e.g. the `--tune` batch evaluations, or `schedule
+//! --policy all`'s per-policy fan-out — and a *single* `train`/`schedule`
+//! run, whose fluid solver fans dirty network components across the same
+//! pool (sweeps take priority: while a sweep owns the pool, each member's
+//! solver runs serially, so the machine is never oversubscribed). Results
+//! are bit-identical regardless of the worker count.
 //!
 //! `--racks N` packs nodes into racks of `N` behind 2:1-oversubscribed ToR
 //! uplinks and a shared spine, so cross-rack gradient traffic contends the
@@ -560,14 +564,16 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
         }
         if args.trace.is_some() {
             let (report, json) = MultiJobSim::new(cfg).run_with_trace();
-            (sched_render(&report), json)
+            (sched_render(&report), report.solver.to_string(), json)
         } else {
-            (sched_render(&aiacc::sched::run_multijob(cfg)), String::new())
+            let report = aiacc::sched::run_multijob(cfg);
+            (sched_render(&report), report.solver.to_string(), String::new())
         }
     });
-    for (policy, (block, json)) in policies.iter().zip(&blocks) {
+    for (policy, (block, solver, json)) in policies.iter().zip(&blocks) {
         println!("# policy {}", policy.name());
         print!("{block}");
+        eprintln!("[aiacc-sim] solver ({}): {solver}", policy.name());
         if let Some(path) = &args.trace {
             let out = if policies.len() == 1 {
                 path.clone()
@@ -694,6 +700,14 @@ fn main() {
     let detail = sim.run_iteration_detailed();
     let report = sim.run();
     println!("{report}");
+    let bd = sim.solve_breakdown();
+    eprintln!(
+        "[aiacc-sim] solver: {} | {:.3}s solve / {:.3}s apply / {:.3}s queue",
+        sim.solver_stats(),
+        bd.solve_s,
+        bd.apply_s,
+        bd.queue_s,
+    );
     println!(
         "iteration breakdown: backward ends {:.1} ms | comm done {:.1} ms | tail {:.1} ms",
         detail.backward_end_secs * 1e3,
