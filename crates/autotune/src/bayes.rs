@@ -12,7 +12,7 @@ use rand::{RngExt, SeedableRng};
 pub struct BayesOpt {
     space: TuningSpace,
     rng: StdRng,
-    xs: Vec<[f64; 3]>,
+    xs: Vec<[f64; 4]>,
     ys: Vec<f64>,
     lengthscale: f64,
     noise: f64,
@@ -35,13 +35,13 @@ impl BayesOpt {
         }
     }
 
-    fn kernel(&self, a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    fn kernel(&self, a: &[f64; 4], b: &[f64; 4]) -> f64 {
         let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
     }
 
     /// GP posterior `(mean, std)` at `x`, on standardized targets.
-    fn posterior(&self, alpha: &[f64], chol: &Cholesky, x: &[f64; 3]) -> (f64, f64) {
+    fn posterior(&self, alpha: &[f64], chol: &Cholesky, x: &[f64; 4]) -> (f64, f64) {
         let k_star: Vec<f64> = self.xs.iter().map(|xi| self.kernel(xi, x)).collect();
         let mean: f64 = k_star.iter().zip(alpha).map(|(k, a)| k * a).sum();
         let v = chol.solve_lower(&k_star);

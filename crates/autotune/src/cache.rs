@@ -77,7 +77,12 @@ struct Entry {
 /// let cache = TuningCache::new();
 /// let sig = GraphSig(vec!["conv".into(), "dense".into()]);
 /// let topo = TopoSig { nodes: 2, gpus_per_node: 8, bandwidth_gbps: 30.0, rdma: false };
-/// let cfg = TuningConfig { streams: 8, granularity: 3.2e7, algo: TuneAlgo::Ring };
+/// let cfg = TuningConfig {
+///     streams: 8,
+///     granularity: 3.2e7,
+///     algo: TuneAlgo::Ring,
+///     compress: Default::default(),
+/// };
 /// cache.store(sig.clone(), topo, cfg, 0.5);
 /// assert_eq!(cache.lookup(&sig, &topo).unwrap().streams, 8);
 /// ```
@@ -152,7 +157,12 @@ mod tests {
     }
 
     fn cfg(streams: usize) -> TuningConfig {
-        TuningConfig { streams, granularity: 32e6, algo: TuneAlgo::Ring }
+        TuningConfig {
+            streams,
+            granularity: 32e6,
+            algo: TuneAlgo::Ring,
+            compress: Default::default(),
+        }
     }
 
     #[test]

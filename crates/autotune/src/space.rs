@@ -1,5 +1,9 @@
-//! The communication-parameter search space (§VI).
+//! The communication-parameter search space (§VI), extended with the
+//! gradient-compression axis (RedSync): the bandit co-tunes stream count,
+//! granularity, algorithm, and compression scheme together, because
+//! compression shrinks units and shifts the stream/granularity optimum.
 
+use aiacc_compress::Scheme;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -32,16 +36,20 @@ pub struct TuningConfig {
     pub granularity: f64,
     /// All-reduce algorithm.
     pub algo: TuneAlgo,
+    /// Gradient compression scheme.
+    #[serde(default)]
+    pub compress: Scheme,
 }
 
 impl fmt::Display for TuningConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} streams / {:.0} MiB / {}",
+            "{} streams / {:.0} MiB / {} / {}",
             self.streams,
             self.granularity / (1024.0 * 1024.0),
-            self.algo
+            self.algo,
+            self.compress
         )
     }
 }
@@ -55,6 +63,15 @@ pub struct TuningSpace {
     pub granularities: Vec<f64>,
     /// Algorithm axis.
     pub algos: Vec<TuneAlgo>,
+    /// Compression-scheme axis. Defaults to `[Scheme::None]` (compression
+    /// changes accuracy, so lossy schemes only enter the search when the
+    /// caller opts in via [`TuningSpace::with_compression`]).
+    #[serde(default = "default_compress_axis")]
+    pub compress: Vec<Scheme>,
+}
+
+fn default_compress_axis() -> Vec<Scheme> {
+    vec![Scheme::None]
 }
 
 impl Default for TuningSpace {
@@ -76,14 +93,22 @@ impl Default for TuningSpace {
                 256.0 * MIB,
             ],
             algos: vec![TuneAlgo::Ring, TuneAlgo::Tree],
+            compress: default_compress_axis(),
         }
     }
 }
 
 impl TuningSpace {
+    /// Adds the lossy compression schemes to the search (fourth axis):
+    /// fp16, int8, and RedSync-style `topk:64`, alongside uncompressed.
+    pub fn with_compression(mut self) -> Self {
+        self.compress = vec![Scheme::None, Scheme::Fp16, Scheme::Int8, Scheme::TopK { ratio: 64 }];
+        self
+    }
+
     /// Number of lattice points.
     pub fn len(&self) -> usize {
-        self.streams.len() * self.granularities.len() * self.algos.len()
+        self.streams.len() * self.granularities.len() * self.algos.len() * self.compress.len()
     }
 
     /// `true` if the space is degenerate.
@@ -91,8 +116,8 @@ impl TuningSpace {
         self.len() == 0
     }
 
-    /// The `i`-th lattice point (row-major: algo, then granularity, then
-    /// streams).
+    /// The `i`-th lattice point (row-major: compression, then algo, then
+    /// granularity, then streams).
     ///
     /// # Panics
     /// Panics if `i >= self.len()`.
@@ -100,10 +125,12 @@ impl TuningSpace {
         assert!(i < self.len(), "index {i} out of range");
         let s = self.streams.len();
         let g = self.granularities.len();
+        let a = self.algos.len();
         TuningConfig {
             streams: self.streams[i % s],
             granularity: self.granularities[(i / s) % g],
-            algo: self.algos[i / (s * g)],
+            algo: self.algos[(i / (s * g)) % a],
+            compress: self.compress[i / (s * g * a)],
         }
     }
 
@@ -112,12 +139,13 @@ impl TuningSpace {
         (0..self.len()).map(|i| self.index(i)).collect()
     }
 
-    /// Maps a config to normalized `[0, 1]³` coordinates (for the GP).
-    pub fn normalize(&self, cfg: &TuningConfig) -> [f64; 3] {
+    /// Maps a config to normalized `[0, 1]⁴` coordinates (for the GP).
+    pub fn normalize(&self, cfg: &TuningConfig) -> [f64; 4] {
         let si = self.streams.iter().position(|&s| s == cfg.streams).unwrap_or(0);
         let gi =
             self.granularities.iter().position(|&g| (g - cfg.granularity).abs() < 1.0).unwrap_or(0);
         let ai = self.algos.iter().position(|&a| a == cfg.algo).unwrap_or(0);
+        let ci = self.compress.iter().position(|&c| c == cfg.compress).unwrap_or(0);
         let norm = |i: usize, n: usize| {
             if n <= 1 {
                 0.0
@@ -129,6 +157,7 @@ impl TuningSpace {
             norm(si, self.streams.len()),
             norm(gi, self.granularities.len()),
             norm(ai, self.algos.len()),
+            norm(ci, self.compress.len()),
         ]
     }
 
@@ -158,6 +187,14 @@ impl TuningSpace {
                 out.push(TuningConfig { algo: a, ..*cfg });
             }
         }
+        if let Some(ci) = self.compress.iter().position(|&c| c == cfg.compress) {
+            if ci > 0 {
+                out.push(TuningConfig { compress: self.compress[ci - 1], ..*cfg });
+            }
+            if ci + 1 < self.compress.len() {
+                out.push(TuningConfig { compress: self.compress[ci + 1], ..*cfg });
+            }
+        }
         out
     }
 }
@@ -174,12 +211,24 @@ mod tests {
     }
 
     #[test]
+    fn compression_axis_quadruples_the_space() {
+        let s = TuningSpace::default().with_compression();
+        assert_eq!(s.len(), 9 * 8 * 2 * 4);
+        assert!(s.enumerate().iter().any(|c| c.compress == Scheme::TopK { ratio: 64 }));
+    }
+
+    #[test]
     fn index_roundtrip_covers_all_combinations() {
-        let s = TuningSpace::default();
+        let s = TuningSpace::default().with_compression();
         let mut seen = std::collections::HashSet::new();
         for i in 0..s.len() {
             let c = s.index(i);
-            seen.insert((c.streams, c.granularity as u64, c.algo == TuneAlgo::Tree));
+            seen.insert((
+                c.streams,
+                c.granularity as u64,
+                c.algo == TuneAlgo::Tree,
+                c.compress.to_string(),
+            ));
         }
         assert_eq!(seen.len(), s.len());
     }
@@ -195,12 +244,12 @@ mod tests {
         }
         // Extremes hit the corners.
         let lo = s.index(0);
-        assert_eq!(s.normalize(&lo), [0.0, 0.0, 0.0]);
+        assert_eq!(s.normalize(&lo), [0.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn neighbours_stay_on_lattice() {
-        let s = TuningSpace::default();
+        let s = TuningSpace::default().with_compression();
         let c = s.index(10);
         let ns = s.neighbours(&c);
         assert!(!ns.is_empty());

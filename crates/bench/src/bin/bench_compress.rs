@@ -1,0 +1,197 @@
+//! `bench_compress` — the convergence-vs-wall-clock gate for gradient
+//! compression.
+//!
+//! ```text
+//! bench_compress [--quick] [--jobs N] [--out FILE]
+//!
+//! --quick     reduced stream sweep and tuning budget
+//! --jobs N    sweep worker count (default 4; output bit-identical to 1)
+//! --out FILE  where to write the JSON report (default BENCH_compress.json)
+//! ```
+//!
+//! Three sections, three gates:
+//!
+//! - `data_plane`: a real MLP trained through the exact Perseus data plane
+//!   once per scheme. Gate: every lossy scheme still reaches within 0.10
+//!   accuracy of the uncompressed run while shrinking the measured wire.
+//! - `frontier`: `ctr_production` on a 5 Gbps cluster, scheme × streams.
+//!   Gate: the best compressed point beats the best uncompressed point at
+//!   *any* stream count — on a low-bandwidth link, multi-streaming alone
+//!   cannot buy back the payload reduction.
+//! - `autotune`: the §VI bandit over the 3-axis space, then over the
+//!   4-axis compression space warm-started from the 3-axis winner. Gate:
+//!   the 4-axis best is strictly better here.
+//!
+//! Everything reported is simulated (machine-independent) except the wall
+//! clock under `"timing"`, which CI freshness comparison strips.
+
+use aiacc_bench::{
+    best_point, data_plane_points, frontier_points, tune_comparison, FRONTIER_QUICK_STREAMS,
+    FRONTIER_STREAMS,
+};
+use aiacc_compress::Scheme;
+use aiacc_simnet::par;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let jobs: usize =
+        flag("--jobs").map(|v| v.parse().expect("--jobs needs a positive integer")).unwrap_or(4);
+    assert!(jobs > 0, "--jobs needs a positive integer");
+    let out = flag("--out").unwrap_or_else(|| "BENCH_compress.json".to_string());
+
+    let streams = if quick { FRONTIER_QUICK_STREAMS } else { FRONTIER_STREAMS };
+    let (dp_steps, budget) = if quick { (120u64, 12usize) } else { (150, 30) };
+    let started = Instant::now();
+
+    eprintln!("[bench_compress] data plane ({dp_steps} steps per scheme)...");
+    par::set_jobs(1);
+    let dp_serial = data_plane_points(dp_steps);
+    eprintln!("[bench_compress] frontier (scheme x {} stream counts), serial...", streams.len());
+    let fr_serial = frontier_points(streams);
+    eprintln!("[bench_compress] frontier again, --jobs {jobs}...");
+    par::set_jobs(jobs);
+    let dp_sweep = data_plane_points(dp_steps);
+    let fr_sweep = frontier_points(streams);
+    par::set_jobs(1);
+    let identical = dp_serial == dp_sweep && fr_serial == fr_sweep;
+
+    eprintln!("[bench_compress] autotune (budget {budget}, 3-axis then 4-axis warm-started)...");
+    let tc = tune_comparison(budget, 7);
+
+    let exact = dp_serial.iter().find(|p| p.scheme == Scheme::None).expect("uncompressed run");
+    let best_plain = best_point(&fr_serial, |p| p.scheme == Scheme::None);
+    let best_lossy = best_point(&fr_serial, |p| p.scheme != Scheme::None);
+    let frontier_win = best_lossy.iter_s < best_plain.iter_s;
+    let tuner_win = tc.compressed_s < tc.uncompressed_s;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scenario\": {{");
+    let _ = writeln!(
+        json,
+        "    \"data_plane\": \"4-16-3 MLP, 4 workers, exact Perseus collectives, \
+         {dp_steps} steps, error feedback on lossy wire\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"frontier\": \"ctr_production on 2x8 V100 behind 5 Gbps TCP, \
+         scheme x streams, one warmed-up simulated iteration each\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"regenerate\": \"cargo run --release -p aiacc-bench --bin bench_compress\""
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"data_plane\": [");
+    for (i, p) in dp_serial.iter().enumerate() {
+        let comma = if i + 1 < dp_serial.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"scheme\": \"{}\", \"final_loss\": {:.6}, \"accuracy\": {:.4}, \
+             \"wire_bytes_per_step\": {}, \"loss_delta_vs_exact\": {:.6}, \
+             \"wire_reduction_x\": {:.2} }}{comma}",
+            p.scheme,
+            p.final_loss,
+            p.accuracy,
+            p.wire_bytes_per_step,
+            p.final_loss - exact.final_loss,
+            exact.wire_bytes_per_step as f64 / p.wire_bytes_per_step as f64,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"frontier\": {{");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, p) in fr_serial.iter().enumerate() {
+        let comma = if i + 1 < fr_serial.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"scheme\": \"{}\", \"streams\": {}, \"iter_s\": {:.6} }}{comma}",
+            p.scheme, p.streams, p.iter_s
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"best_uncompressed\": {{ \"streams\": {}, \"iter_s\": {:.6} }},",
+        best_plain.streams, best_plain.iter_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"best_compressed\": {{ \"scheme\": \"{}\", \"streams\": {}, \"iter_s\": {:.6} }},",
+        best_lossy.scheme, best_lossy.streams, best_lossy.iter_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_best_uncompressed\": {:.3},",
+        best_plain.iter_s / best_lossy.iter_s
+    );
+    let _ = writeln!(json, "    \"compressed_beats_all_stream_counts\": {frontier_win}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"autotune\": {{");
+    let _ = writeln!(json, "    \"budget\": {budget},");
+    let _ = writeln!(
+        json,
+        "    \"uncompressed_best\": {{ \"config\": \"{}\", \"iter_s\": {:.6} }},",
+        tc.uncompressed, tc.uncompressed_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"compressed_best\": {{ \"config\": \"{}\", \"iter_s\": {:.6} }},",
+        tc.compressed, tc.compressed_s
+    );
+    let _ = writeln!(json, "    \"compressed_strictly_better\": {tuner_win}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"determinism\": {{");
+    let _ = writeln!(json, "    \"bit_identical_across_jobs_1_and_{jobs}\": {identical}");
+    let _ = writeln!(json, "  }},");
+    let _ =
+        writeln!(json, "  \"timing\": {{ \"wall_s\": {:.3} }}", started.elapsed().as_secs_f64());
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!("[bench_compress] wrote {out}");
+    println!("{json}");
+
+    assert!(identical, "parallel sweep differed from serial — determinism broken");
+    for p in &dp_serial {
+        if p.scheme != Scheme::None {
+            assert!(
+                p.accuracy >= exact.accuracy - 0.10,
+                "{} lost too much accuracy: {:.3} vs {:.3}",
+                p.scheme,
+                p.accuracy,
+                exact.accuracy
+            );
+            assert!(
+                p.wire_bytes_per_step < exact.wire_bytes_per_step,
+                "{} did not shrink the wire ({} vs {} B/step)",
+                p.scheme,
+                p.wire_bytes_per_step,
+                exact.wire_bytes_per_step
+            );
+        }
+    }
+    assert!(
+        frontier_win,
+        "no compressed config beat the best uncompressed ({} streams, {:.4}s) on the \
+         low-bandwidth cluster",
+        best_plain.streams, best_plain.iter_s
+    );
+    assert!(
+        tc.compressed_s <= tc.uncompressed_s,
+        "4-axis search regressed below its warm start: {:.4} vs {:.4}",
+        tc.compressed_s,
+        tc.uncompressed_s
+    );
+    assert!(
+        tuner_win,
+        "the tuner found no compressed config better than its uncompressed optimum \
+         ({} at {:.4}s)",
+        tc.uncompressed, tc.uncompressed_s
+    );
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 mod exp_chaos;
+mod exp_compress;
 mod exp_further;
 mod exp_multijob;
 mod exp_overall;
@@ -19,6 +20,11 @@ mod report;
 
 pub use exp_chaos::{
     chaos_points, fig_chaos, mean_delta_p99, ChaosPoint, CHAOS_QUICK_SEEDS, CHAOS_SEEDS,
+};
+pub use exp_compress::{
+    best_point, data_plane_points, frontier_points, low_bandwidth_cluster, tune_comparison,
+    DataPlanePoint, FrontierPoint, TuneComparison, COMPRESS_SCHEMES, FRONTIER_QUICK_STREAMS,
+    FRONTIER_STREAMS,
 };
 pub use exp_further::{
     bandwidth_utilization, ctr_production_speedup, dawnbench_table, fig13_hybrid,

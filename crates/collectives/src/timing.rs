@@ -54,12 +54,19 @@ pub enum RingMode {
 /// What to run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CollectiveSpec {
-    /// Payload bytes contributed per worker.
+    /// Payload bytes contributed per worker — the bytes that actually hit
+    /// the wire (already compressed, if a compression scheme is active).
     pub bytes: f64,
     /// Algorithm.
     pub algo: Algo,
     /// Ring fidelity.
     pub mode: RingMode,
+    /// Compute-side cost charged once per operation (e.g. gradient
+    /// compress + decompress kernels). Folded into the start-up latency of
+    /// the operation's first phase, so completion shifts by exactly this
+    /// amount without adding events.
+    #[serde(default)]
+    pub overhead: SimDuration,
 }
 
 impl CollectiveSpec {
@@ -69,7 +76,12 @@ impl CollectiveSpec {
     /// Panics if `bytes` is negative or not finite.
     pub fn allreduce(bytes: f64) -> Self {
         assert!(bytes.is_finite() && bytes >= 0.0, "invalid payload: {bytes}");
-        CollectiveSpec { bytes, algo: Algo::Ring, mode: RingMode::Auto }
+        CollectiveSpec {
+            bytes,
+            algo: Algo::Ring,
+            mode: RingMode::Auto,
+            overhead: SimDuration::ZERO,
+        }
     }
 
     /// Selects the algorithm.
@@ -81,6 +93,12 @@ impl CollectiveSpec {
     /// Selects the ring fidelity.
     pub fn with_mode(mut self, mode: RingMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Charges a compute-side per-operation cost (compression kernels).
+    pub fn with_overhead(mut self, overhead: SimDuration) -> Self {
+        self.overhead = overhead;
         self
     }
 }
@@ -335,13 +353,25 @@ fn build_phases(cluster: &ClusterNet, spec: CollectiveSpec) -> VecDeque<Vec<Flow
         RingMode::Coarse => false,
         RingMode::Auto => w <= AUTO_STEPWISE_MAX_WORLD,
     };
-    match spec.algo {
+    let mut phases = match spec.algo {
         Algo::Ring if stepwise => ring_stepwise(cluster, spec.bytes),
         Algo::Ring => ring_coarse(cluster, spec.bytes),
         // The hierarchical algorithm is phase-structured by nature; its
         // intra-node and leader rings use the coarse aggregation.
         Algo::Tree => tree_phases(cluster, spec.bytes),
+    };
+    if spec.overhead > SimDuration::ZERO {
+        // Compute-side cost (compression kernels): every first-phase flow
+        // starts late by the overhead, so the whole operation — phases are
+        // strictly ordered — completes exactly that much later.
+        if let Some(first) = phases.front_mut() {
+            for f in first {
+                f.latency =
+                    SimDuration::from_nanos(f.latency.as_nanos() + spec.overhead.as_nanos());
+            }
+        }
     }
+    phases
 }
 
 /// Every lock-step step of a flat ring: `2(W−1)` phases of `W` flows moving

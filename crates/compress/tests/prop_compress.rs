@@ -1,0 +1,162 @@
+//! Property-based tests of the gradient compressors: bounded round-trip
+//! error per scheme, exact wire-size accounting, and bounded error-feedback
+//! residuals.
+
+use aiacc_compress::{Compressor, ErrorFeedback, Scheme, INT8_CHUNK};
+use proptest::prelude::*;
+
+fn grad_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 0..600)
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    (0u32..4, 1u32..16).prop_map(|(kind, ratio)| match kind {
+        0 => Scheme::None,
+        1 => Scheme::Fp16,
+        2 => Scheme::Int8,
+        _ => Scheme::TopK { ratio },
+    })
+}
+
+proptest! {
+    /// The closed-form wire size must equal the materialized compressed
+    /// payload's size exactly — this is the number the timing plane charges,
+    /// so any drift would mean the simulated network moves bytes the data
+    /// plane never produced.
+    #[test]
+    fn wire_size_accounting_is_exact(g in grad_strategy(), scheme in scheme_strategy()) {
+        let c = scheme.compress(&g);
+        prop_assert_eq!(c.wire_bytes(), Compressor::wire_bytes(&scheme, g.len()));
+        prop_assert_eq!(scheme.decompress(&c).len(), g.len());
+    }
+
+    /// fp16 round-trip error is bounded by half-precision resolution:
+    /// 2⁻¹¹ relative for normal values, plus an absolute floor for the
+    /// subnormal range.
+    #[test]
+    fn fp16_round_trip_error_is_bounded(g in grad_strategy()) {
+        let back = Scheme::Fp16.decompress(&Scheme::Fp16.compress(&g));
+        for (&x, &y) in g.iter().zip(&back) {
+            prop_assert!(
+                (x - y).abs() <= x.abs() * 1e-3 + 1e-4,
+                "fp16 {} -> {}", x, y
+            );
+        }
+    }
+
+    /// int8 round-trip error is bounded by half a quantization step of the
+    /// chunk it lives in (scale = chunk max-abs / 127).
+    #[test]
+    fn int8_round_trip_error_is_bounded(g in grad_strategy()) {
+        let back = Scheme::Int8.decompress(&Scheme::Int8.compress(&g));
+        for (ci, chunk) in g.chunks(INT8_CHUNK).enumerate() {
+            let max = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let half_step = max / 127.0 * 0.5;
+            for (i, &x) in chunk.iter().enumerate() {
+                let y = back[ci * INT8_CHUNK + i];
+                prop_assert!(
+                    (x - y).abs() <= half_step * 1.001 + 1e-6,
+                    "int8 {} -> {} (chunk max {})", x, y, max
+                );
+            }
+        }
+    }
+
+    /// Top-k keeps the surviving coordinates bit-exact and zeroes the rest —
+    /// and what survives is exactly the top `⌈n/ratio⌉` by magnitude.
+    #[test]
+    fn topk_keeps_exact_values_and_zeroes_the_rest(
+        g in grad_strategy(),
+        ratio in 1u32..16,
+    ) {
+        let scheme = Scheme::TopK { ratio };
+        let back = scheme.decompress(&scheme.compress(&g));
+        let mut kept = 0usize;
+        let mut min_kept = f32::INFINITY;
+        let mut max_dropped = 0.0f32;
+        for (&x, &y) in g.iter().zip(&back) {
+            if y == 0.0 && x != 0.0 {
+                max_dropped = max_dropped.max(x.abs());
+            } else {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "kept value changed");
+                if y != 0.0 {
+                    kept += 1;
+                    min_kept = min_kept.min(x.abs());
+                }
+            }
+        }
+        if !g.is_empty() {
+            let want = g.len().div_ceil(ratio.max(1) as usize).max(1);
+            prop_assert!(kept <= want, "kept {} > budget {}", kept, want);
+            if kept > 0 {
+                prop_assert!(
+                    min_kept >= max_dropped,
+                    "kept {} but dropped {}", min_kept, max_dropped
+                );
+            }
+        }
+    }
+
+    /// The error-feedback invariant: across any gradient stream, the sum of
+    /// delivered values plus the final residual equals the sum of injected
+    /// gradients (up to float accumulation error) — lossy compression delays
+    /// mass, it never loses it.
+    #[test]
+    fn error_feedback_conserves_gradient_mass(
+        scheme in scheme_strategy(),
+        grads in prop::collection::vec(
+            prop::collection::vec(-8.0f32..8.0, 24..=24), 1..30),
+    ) {
+        let mut ef = ErrorFeedback::default();
+        let mut delivered = [0.0f64; 24];
+        let mut injected = [0.0f64; 24];
+        let steps = grads.len();
+        for g in grads {
+            let (d, _) = ef.compress_step(scheme, &g);
+            for i in 0..24 {
+                delivered[i] += d[i] as f64;
+                injected[i] += g[i] as f64;
+            }
+        }
+        for i in 0..24 {
+            // `Scheme::None` is a passthrough: no residual is ever allocated.
+            let residual = ef.residual().get(i).copied().unwrap_or(0.0) as f64;
+            let err = (delivered[i] + residual - injected[i]).abs();
+            prop_assert!(
+                err <= 1e-3 * steps as f64,
+                "coord {}: delivered {} + residual {} != injected {}",
+                i, delivered[i], residual, injected[i]
+            );
+        }
+    }
+
+    /// Error-feedback residuals stay bounded over long streams: with top-k
+    /// at ratio r every coordinate is served at least every ~r steps, so the
+    /// residual norm is O(r · max-gradient), independent of stream length.
+    #[test]
+    fn error_feedback_residual_stays_bounded(
+        ratio in 1u32..9,
+        seed in 0u64..1000,
+    ) {
+        let scheme = Scheme::TopK { ratio };
+        let len = 64usize;
+        let mut ef = ErrorFeedback::default();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for _ in 0..200 {
+            let g: Vec<f32> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 40) as f64 / (1u64 << 24) as f64 * 2.0 - 1.0) as f32
+                })
+                .collect();
+            let _ = ef.compress_step(scheme, &g);
+        }
+        // 200 steps of unit-bounded gradients: unbounded accumulation would
+        // reach ~200; the EF bound is ~2·r·√len ≤ 128.
+        let bound = 2.0 * ratio as f64 * (len as f64).sqrt();
+        prop_assert!(
+            ef.residual_norm() <= bound,
+            "residual norm {} exceeds EF bound {}", ef.residual_norm(), bound
+        );
+    }
+}

@@ -21,6 +21,7 @@ use crate::registry::GradientRegistry;
 use crate::syncvec::SyncVector;
 use aiacc_collectives::timing::sync_round_latency;
 use aiacc_collectives::{Algo, CollectiveSpec, OpId, RingMode};
+use aiacc_compress::Scheme;
 use aiacc_dnn::{DType, GradId, ModelProfile};
 use aiacc_simnet::trace::track;
 use aiacc_simnet::{FaultRecord, SimDuration, SimTime, Token};
@@ -46,8 +47,11 @@ pub struct AiaccConfig {
     pub algo: Algo,
     /// Ring timing fidelity.
     pub mode: RingMode,
-    /// Compress gradients to fp16 on the wire (§X).
-    pub compression: bool,
+    /// Gradient compression scheme (§X / RedSync): what actually travels
+    /// on the wire. The engine charges the scheme's exact compressed wire
+    /// size per unit and its compress/decompress kernels on compute.
+    #[serde(default)]
+    pub compress: Scheme,
     /// Stall watchdog: if a dispatched unit has not completed after this
     /// long, cancel it and resubmit on a fresh stream (doubling the timeout
     /// each retry). `None` disables the watchdog — the default, since on a
@@ -71,7 +75,7 @@ impl Default for AiaccConfig {
             granularity: 16.0 * 1024.0 * 1024.0,
             algo: Algo::Ring,
             mode: RingMode::Auto,
-            compression: false,
+            compress: Scheme::None,
             stall_timeout: None,
             max_resubmissions: None,
         }
@@ -111,9 +115,17 @@ impl AiaccConfig {
         self
     }
 
-    /// Enables fp16 wire compression.
+    /// Enables (or disables) fp16 wire compression — the legacy boolean
+    /// knob, kept as a shorthand for [`AiaccConfig::with_compress`] with
+    /// [`Scheme::Fp16`].
     pub fn with_compression(mut self, on: bool) -> Self {
-        self.compression = on;
+        self.compress = if on { Scheme::Fp16 } else { Scheme::None };
+        self
+    }
+
+    /// Selects the gradient compression scheme.
+    pub fn with_compress(mut self, scheme: Scheme) -> Self {
+        self.compress = scheme;
         self
     }
 
@@ -134,9 +146,11 @@ impl AiaccConfig {
         self
     }
 
-    /// The wire dtype implied by the compression flag.
+    /// The wire *dtype* implied by the compression scheme — what the frame
+    /// encoder tags payloads with. Only fp16 maps to a plain dtype; int8
+    /// and top-k payloads carry their own framing and stay `F32` here.
     pub fn wire_dtype(self) -> DType {
-        if self.compression {
+        if self.compress == Scheme::Fp16 {
             DType::F16
         } else {
             DType::F32
@@ -209,7 +223,11 @@ impl AiaccEngine {
     /// Panics if `world` is zero.
     pub fn new(model: &ModelProfile, world: usize, cfg: AiaccConfig) -> Self {
         assert!(world > 0, "world must be positive");
-        let registry = GradientRegistry::from_profile(model, cfg.wire_dtype());
+        // The registry always carries uncompressed f32 sizes — granularity
+        // is an *uncompressed*-payload knob. Compression is applied at
+        // submit time: each unit's wire bytes come from the scheme's exact
+        // closed form over the unit's element count.
+        let registry = GradientRegistry::from_profile(model, DType::F32);
         let n = registry.len();
         let tracker = ReduceTracker::new(&registry);
         AiaccEngine {
@@ -355,8 +373,15 @@ impl AiaccEngine {
 
     /// Launches one unit as a collective and arms its stall watchdog.
     fn submit(&mut self, cx: &mut DdlCtx<'_>, unit: AllReduceUnit, attempts: u32) {
-        let spec =
-            CollectiveSpec::allreduce(unit.bytes).with_algo(self.cfg.algo).with_mode(self.cfg.mode);
+        // The wire carries the compressed payload; the compress/decompress
+        // kernels are charged on the compute side as per-op overhead.
+        let wire_bytes = self.cfg.compress.wire_bytes_for_f32_payload(unit.bytes);
+        let overhead =
+            SimDuration::from_nanos(self.cfg.compress.compute_cost_ns(unit.elems()).round() as u64);
+        let spec = CollectiveSpec::allreduce(wire_bytes)
+            .with_algo(self.cfg.algo)
+            .with_mode(self.cfg.mode)
+            .with_overhead(overhead);
         let op = cx.coll.launch(cx.sim, cx.cluster, spec);
         let watched = self.cfg.max_resubmissions.is_none_or(|max| attempts < max);
         if let Some(base) = self.cfg.stall_timeout.filter(|_| watched) {

@@ -15,8 +15,10 @@
 use crate::packing::pack_units;
 use crate::registry::GradientRegistry;
 use aiacc_collectives::dataplane::{ring_allreduce, tree_allreduce, ReduceOp};
-use aiacc_dnn::{f16, DType};
+use aiacc_compress::{ErrorFeedback, Scheme};
+use aiacc_dnn::DType;
 use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
 
 /// Configuration of a [`Perseus`] data-plane session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,9 +32,12 @@ pub struct PerseusConfig {
     pub gpus_per_node: Option<usize>,
     /// Divide the aggregate by the world size (gradient *averaging*).
     pub average: bool,
-    /// Round gradients through fp16 before reduction, as the compressed wire
-    /// format would (§X).
-    pub compression: bool,
+    /// Gradient compression scheme: each worker's unit payload goes
+    /// through compress → decompress before reduction, exactly as the wire
+    /// would deliver it (§X / RedSync), with per-worker error-feedback
+    /// residuals for the lossy schemes.
+    #[serde(default)]
+    pub compress: Scheme,
 }
 
 impl PerseusConfig {
@@ -47,7 +52,7 @@ impl PerseusConfig {
             granularity: 4.0 * 1024.0 * 1024.0,
             gpus_per_node: None,
             average: true,
-            compression: false,
+            compress: Scheme::None,
         }
     }
 
@@ -72,9 +77,16 @@ impl PerseusConfig {
         self
     }
 
-    /// Enables fp16 wire emulation.
+    /// Enables fp16 wire emulation — legacy shorthand for
+    /// [`PerseusConfig::with_compress`] with [`Scheme::Fp16`].
     pub fn with_compression(mut self, on: bool) -> Self {
-        self.compression = on;
+        self.compress = if on { Scheme::Fp16 } else { Scheme::None };
+        self
+    }
+
+    /// Selects the gradient compression scheme.
+    pub fn with_compress(mut self, scheme: Scheme) -> Self {
+        self.compress = scheme;
         self
     }
 
@@ -102,6 +114,12 @@ impl PerseusConfig {
 pub struct Perseus {
     cfg: PerseusConfig,
     registry: GradientRegistry,
+    /// Error-feedback state, `[worker][unit]`, lazily grown on first use.
+    /// Interior mutability keeps the lock-step `&self` API: the session is
+    /// single-threaded by construction (one call aggregates everyone).
+    ef: RefCell<Vec<Vec<ErrorFeedback>>>,
+    /// Exact compressed bytes each worker put on the wire last step.
+    last_wire_bytes: Cell<u64>,
 }
 
 impl Perseus {
@@ -109,7 +127,15 @@ impl Perseus {
     /// (`(name, element_count)` in registration order).
     pub fn new(layout: &[(String, usize)], cfg: PerseusConfig) -> Self {
         let registry = GradientRegistry::from_layout(layout, DType::F32);
-        Perseus { cfg, registry }
+        let ef = RefCell::new(vec![Vec::new(); cfg.world]);
+        Perseus { cfg, registry, ef, last_wire_bytes: Cell::new(0) }
+    }
+
+    /// Exact bytes one worker's compressed payloads occupied on the wire in
+    /// the most recent [`Perseus::allreduce_step`] (every worker sends the
+    /// same amount — the wire size is a closed form over element counts).
+    pub fn last_step_wire_bytes(&self) -> u64 {
+        self.last_wire_bytes.get()
     }
 
     /// Number of workers in the session.
@@ -153,8 +179,10 @@ impl Perseus {
         units.extend(partial);
 
         let mut out: Vec<Vec<f32>> = self.registry.iter().map(|g| vec![0.0; g.elems]).collect();
+        let mut ef = self.ef.borrow_mut();
+        let mut step_wire: u64 = 0;
 
-        for unit in &units {
+        for (ui, unit) in units.iter().enumerate() {
             // Gather each worker's unit payload.
             let mut bufs: Vec<Vec<f32>> = (0..w)
                 .map(|wi| {
@@ -163,9 +191,21 @@ impl Perseus {
                         let t = &grads_per_worker[wi][seg.grad.as_usize()];
                         buf.extend_from_slice(&t[seg.offset..seg.offset + seg.elems]);
                     }
-                    if self.cfg.compression {
-                        // The wire carries fp16: quantize before reduction.
-                        buf = f16::decompress(&f16::compress(&buf));
+                    if self.cfg.compress.is_lossy() {
+                        // Compensated compression: the reduction consumes
+                        // exactly what the wire would deliver; what the
+                        // codec drops lands in this worker's residual and
+                        // rides along next iteration.
+                        while ef[wi].len() <= ui {
+                            ef[wi].push(ErrorFeedback::new());
+                        }
+                        let (delivered, wire) = ef[wi][ui].compress_step(self.cfg.compress, &buf);
+                        if wi == 0 {
+                            step_wire += wire;
+                        }
+                        buf = delivered;
+                    } else if wi == 0 {
+                        step_wire += 4 * unit.elems() as u64;
                     }
                     buf
                 })
@@ -187,6 +227,7 @@ impl Perseus {
             }
         }
 
+        self.last_wire_bytes.set(step_wire);
         if self.cfg.average {
             let inv = 1.0 / w as f32;
             for t in &mut out {

@@ -89,23 +89,24 @@ static DEFAULT_SOLVE_MODE: OnceLock<SolveMode> = OnceLock::new();
 /// Sets the process-wide default [`SolveMode`] for networks created after
 /// this call (e.g. from a `--flat-solver` CLI flag). Returns `false` if the
 /// default was already fixed — by an earlier call or by a network having
-/// read the `AIACC_SOLVER` environment variable (`flat`/`full` select
-/// [`SolveMode::Full`]; `partitioned` selects [`SolveMode::Partitioned`]).
+/// read the `AIACC_SOLVER` environment variable (`flat`, `full`, or the
+/// CLI-flag spelling `flat-solver` select [`SolveMode::Full`];
+/// `partitioned` selects [`SolveMode::Partitioned`]).
 pub fn set_default_solve_mode(mode: SolveMode) -> bool {
     DEFAULT_SOLVE_MODE.set(mode).is_ok()
 }
 
 fn default_solve_mode() -> SolveMode {
     *DEFAULT_SOLVE_MODE.get_or_init(|| match std::env::var("AIACC_SOLVER").ok().as_deref() {
-        Some("flat") | Some("full") => SolveMode::Full,
+        Some("flat") | Some("full") | Some("flat-solver") => SolveMode::Full,
         Some("partitioned") | None => SolveMode::Partitioned,
         Some(other) => {
             // OnceLock init runs at most once, so this warns exactly once
             // per process no matter how many networks are built.
             eprintln!(
                 "warning: unrecognized AIACC_SOLVER value {other:?} \
-                 (expected \"flat\", \"full\" or \"partitioned\"); \
-                 using the partitioned solver"
+                 (expected \"flat\", \"full\", \"flat-solver\" or \
+                 \"partitioned\"); using the partitioned solver"
             );
             SolveMode::Partitioned
         }

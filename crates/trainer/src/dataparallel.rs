@@ -1,6 +1,7 @@
 //! Real data-parallel training through the exact collectives (data plane),
 //! with fault tolerance and elastic scaling (§IV).
 
+use aiacc_compress::Scheme;
 use aiacc_core::{Perseus, PerseusConfig};
 use aiacc_dnn::data::Dataset;
 use aiacc_dnn::{Mlp, MlpConfig};
@@ -22,8 +23,9 @@ pub struct DataParallelConfig {
     /// Linear-decay horizon in steps (AIACC uses linear decay, §IV);
     /// `None` = constant rate.
     pub decay_steps: Option<u64>,
-    /// Compress gradients to fp16 on the (simulated) wire.
-    pub compression: bool,
+    /// Gradient compression scheme on the (simulated) wire.
+    #[serde(default)]
+    pub compress: Scheme,
     /// Weight-init and data seed.
     pub seed: u64,
 }
@@ -41,7 +43,7 @@ impl DataParallelConfig {
             batch_per_worker,
             lr: 0.1,
             decay_steps: None,
-            compression: false,
+            compress: Scheme::None,
             seed: 42,
         }
     }
@@ -105,7 +107,7 @@ impl DataParallelTrainer {
         let optimizers = vec![Sgd::new(config.lr).with_momentum(0.9); config.world];
         let perseus = Perseus::new(
             &template.param_layout(),
-            PerseusConfig::new(config.world).with_compression(config.compression),
+            PerseusConfig::new(config.world).with_compress(config.compress),
         );
         DataParallelTrainer { config, workers, optimizers, perseus, data, step: 0, cursor: 0 }
     }
@@ -188,6 +190,12 @@ impl DataParallelTrainer {
         self.workers[0].accuracy(&data.features, &data.labels)
     }
 
+    /// Exact compressed bytes one worker put on the wire in the most recent
+    /// step (measured from the actual payloads, not modeled).
+    pub fn last_step_wire_bytes(&self) -> u64 {
+        self.perseus.last_step_wire_bytes()
+    }
+
     /// Snapshots the training state (worker 0's replica suffices — all are
     /// identical).
     pub fn checkpoint(&self) -> Checkpoint {
@@ -242,7 +250,7 @@ impl DataParallelTrainer {
         self.config.world = new_world;
         self.perseus = Perseus::new(
             &self.workers[0].param_layout(),
-            PerseusConfig::new(new_world).with_compression(self.config.compression),
+            PerseusConfig::new(new_world).with_compress(self.config.compress),
         );
     }
 }
@@ -326,11 +334,18 @@ mod tests {
 
     #[test]
     fn compression_still_converges() {
-        let mut cfg = config(4);
-        cfg.compression = true;
-        let mut t = DataParallelTrainer::new(cfg);
-        let stats = t.train(60);
-        assert!(stats.losses[59] < stats.losses[0] * 0.5);
+        for scheme in [Scheme::Fp16, Scheme::Int8, Scheme::TopK { ratio: 8 }] {
+            let mut cfg = config(4);
+            cfg.compress = scheme;
+            let mut t = DataParallelTrainer::new(cfg);
+            let stats = t.train(60);
+            assert!(
+                stats.losses[59] < stats.losses[0] * 0.5,
+                "{scheme}: {} -> {}",
+                stats.losses[0],
+                stats.losses[59]
+            );
+        }
     }
 
     #[test]

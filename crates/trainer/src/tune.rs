@@ -20,12 +20,14 @@ use aiacc_simnet::par;
 
 /// Maps a tuner lattice point onto an AIACC engine configuration.
 pub fn aiacc_config_from(t: &TuningConfig) -> AiaccConfig {
-    AiaccConfig::default().with_streams(t.streams).with_granularity(t.granularity).with_algo(
-        match t.algo {
+    AiaccConfig::default()
+        .with_streams(t.streams)
+        .with_granularity(t.granularity)
+        .with_algo(match t.algo {
             TuneAlgo::Ring => Algo::Ring,
             TuneAlgo::Tree => Algo::Tree,
-        },
-    )
+        })
+        .with_compress(t.compress)
 }
 
 /// The computation-graph signature of a model: its layer-kind sequence
@@ -111,12 +113,26 @@ pub fn tune_aiacc(
     seed: u64,
     cache: Option<&TuningCache>,
 ) -> (AiaccConfig, TuneReport) {
+    tune_aiacc_in(TuningSpace::default(), model, cluster, budget, seed, cache)
+}
+
+/// [`tune_aiacc`] over a caller-chosen search space — e.g.
+/// `TuningSpace::default().with_compression()` to let the bandit co-tune
+/// the compression scheme as a fourth knob.
+pub fn tune_aiacc_in(
+    space: TuningSpace,
+    model: &ModelProfile,
+    cluster: &ClusterSpec,
+    budget: usize,
+    seed: u64,
+    cache: Option<&TuningCache>,
+) -> (AiaccConfig, TuneReport) {
     let graph = graph_signature(model);
     let topo = topo_signature(cluster);
     let prior = cache.and_then(|c| c.lookup(&graph, &topo));
 
     let mut objective = SimObjective::new(cluster.clone(), model.clone(), None);
-    let mut tuner = Tuner::new(TuningSpace::default(), seed);
+    let mut tuner = Tuner::new(space, seed);
     // Batched: each bandit round's proposals are simulated concurrently
     // (see `aiacc_simnet::par`); observation order stays deterministic.
     let report = tuner.run_batched(&mut objective, budget, prior);
@@ -147,6 +163,7 @@ mod tests {
             streams: 1,
             granularity: 32.0 * 1024.0 * 1024.0,
             algo: TuneAlgo::Ring,
+            compress: Default::default(),
         });
         assert!(report.best_value <= single * 1.02, "{} vs {}", report.best_value, single);
     }

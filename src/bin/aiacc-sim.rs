@@ -2,16 +2,18 @@
 //! command line.
 //!
 //! ```text
-//! aiacc-sim [--model NAME] [--gpus N] [--engine aiacc|horovod|ddp|byteps|kvstore]
+//! aiacc-sim [train] [--model NAME] [--gpus N] [--engine aiacc|horovod|ddp|byteps|kvstore]
 //!           [--streams N] [--granularity MIB] [--batch N] [--rdma]
 //!           [--racks NODES_PER_RACK] [--flat-solver]
-//!           [--compression] [--tree] [--tune BUDGET] [--iters N]
+//!           [--compress none|fp16|int8|topk:K] [--compression] [--tree]
+//!           [--tune BUDGET] [--iters N] [--verbose]
 //!           [--faults degrade|flap|straggler|crash] [--trace OUT.json]
 //!           [--jobs N]
 //!
 //! aiacc-sim schedule [--policy packed|spread|topo|all] [--njobs N] [--seed S]
 //!           [--gpus N] [--engine E] [--mix comm-heavy|mixed|tiny] [--iters N]
-//!           [--rdma] [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json]
+//!           [--rdma] [--compress SCHEME] [--verbose]
+//!           [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json]
 //!           [--jobs N]
 //! ```
 //!
@@ -33,10 +35,26 @@
 //! `--racks N` packs nodes into racks of `N` behind 2:1-oversubscribed ToR
 //! uplinks and a shared spine, so cross-rack gradient traffic contends the
 //! way it does on a real datacenter fabric (the default is a flat,
-//! single-tier network). `--flat-solver` (or `AIACC_SOLVER=flat`) disables
-//! the partitioned rack-by-rack fluid solver in favour of the flat
-//! whole-network solve — results are bit-identical either way; the flag
-//! exists for benchmarking and for the CI equivalence check.
+//! single-tier network). `--flat-solver` (or the `AIACC_SOLVER` environment
+//! variable: `flat`, `full` and `flat-solver` all select the flat solve;
+//! `partitioned` is the default) disables the partitioned rack-by-rack
+//! fluid solver in favour of the flat whole-network solve — results are
+//! bit-identical either way; the flag exists for benchmarking and for the
+//! CI equivalence check.
+//!
+//! `--compress SCHEME` puts a gradient compressor on the wire for the AIACC
+//! engine: `fp16` and `int8` quantize every unit, `topk:K` keeps the top
+//! 1/K coordinates by magnitude (RedSync-style, with error-feedback
+//! residuals), and `none` (the default) sends raw f32. The timing plane
+//! charges the exact compressed byte count plus a compress/decompress
+//! compute cost; with a lossy scheme the train command also trains a real
+//! MLP through the exact data plane twice — uncompressed and compressed —
+//! and prints the measured loss delta and per-step wire bytes.
+//! `--compression` is kept as an alias for `--compress fp16`.
+//!
+//! `--verbose` (or setting `AIACC_VERBOSE`) prints solver diagnostics —
+//! per-run statistics and the solve/apply/queue wall-time breakdown — to
+//! stderr; by default they are suppressed.
 //!
 //! Examples:
 //! `aiacc-sim --model vgg16 --gpus 32 --engine horovod`
@@ -62,13 +80,20 @@ struct Args {
     rdma: bool,
     racks: Option<usize>,
     flat_solver: bool,
-    compression: bool,
+    compress: Scheme,
     tree: bool,
     tune: Option<usize>,
     iters: usize,
+    verbose: bool,
     faults: Option<String>,
     trace: Option<String>,
     jobs: Option<usize>,
+}
+
+/// `--verbose` or the `AIACC_VERBOSE` environment variable: gates the
+/// solver-diagnostics stderr lines.
+fn verbose_enabled(flag: bool) -> bool {
+    flag || std::env::var_os("AIACC_VERBOSE").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Builds the canned fault scenario selected by `--faults`.
@@ -107,7 +132,7 @@ fn fault_scenario(name: &str, nodes: usize) -> Result<FaultPlan, String> {
     }
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         model: "resnet50".to_string(),
         gpus: 32,
@@ -118,15 +143,15 @@ fn parse_args() -> Result<Args, String> {
         rdma: false,
         racks: None,
         flat_solver: false,
-        compression: false,
+        compress: Scheme::None,
         tree: false,
         tune: None,
         iters: 3,
+        verbose: false,
         faults: None,
         trace: None,
         jobs: None,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
@@ -156,7 +181,10 @@ fn parse_args() -> Result<Args, String> {
                 args.racks = Some(n);
             }
             "--flat-solver" => args.flat_solver = true,
-            "--compression" => args.compression = true,
+            "--compress" => {
+                args.compress = value(&mut i)?.parse().map_err(|e| format!("--compress: {e}"))?
+            }
+            "--compression" => args.compress = Scheme::Fp16,
             "--tree" => args.tree = true,
             "--tune" => {
                 args.tune = Some(value(&mut i)?.parse().map_err(|e| format!("--tune: {e}"))?)
@@ -164,6 +192,7 @@ fn parse_args() -> Result<Args, String> {
             "--iters" => {
                 args.iters = value(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?
             }
+            "--verbose" => args.verbose = true,
             "--faults" => args.faults = Some(value(&mut i)?),
             "--trace" => args.trace = Some(value(&mut i)?),
             "--jobs" => {
@@ -174,13 +203,22 @@ fn parse_args() -> Result<Args, String> {
                 args.jobs = Some(n);
             }
             "--help" | "-h" => {
-                return Err("usage: aiacc-sim [--model NAME] [--gpus N] [--engine E] \
+                return Err("usage: aiacc-sim [train] [--model NAME] [--gpus N] [--engine E] \
                             [--streams N] [--granularity MIB] [--batch N] [--rdma] \
                             [--racks NODES_PER_RACK] [--flat-solver] \
-                            [--compression] [--tree] [--tune BUDGET] [--iters N] \
+                            [--compress none|fp16|int8|topk:K] [--compression] [--tree] \
+                            [--tune BUDGET] [--iters N] [--verbose] \
                             [--faults degrade|flap|straggler|crash] [--trace OUT.json] \
                             [--jobs N]\n       aiacc-sim schedule ... \
-                            (multi-job scheduler; see `aiacc-sim schedule --help`)"
+                            (multi-job scheduler; see `aiacc-sim schedule --help`)\n\
+                            --compress puts a gradient compressor on the AIACC wire \
+                            (topk:K keeps 1/K coordinates, with error feedback); \
+                            --compression is an alias for --compress fp16.\n\
+                            --verbose (or AIACC_VERBOSE=1) prints solver diagnostics \
+                            to stderr.\n\
+                            AIACC_SOLVER selects the fluid solver: \"flat\", \"full\" \
+                            or \"flat-solver\" force the flat whole-network solve; \
+                            \"partitioned\" (default) solves dirty components only."
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -201,6 +239,8 @@ struct SchedArgs {
     rdma: bool,
     racks: Option<usize>,
     flat_solver: bool,
+    compress: Scheme,
+    verbose: bool,
     load: Option<String>,
     save: Option<String>,
     trace: Option<String>,
@@ -234,6 +274,8 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
         rdma: false,
         racks: None,
         flat_solver: false,
+        compress: Scheme::None,
+        verbose: false,
         load: None,
         save: None,
         trace: None,
@@ -281,6 +323,10 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
                 args.racks = Some(n);
             }
             "--flat-solver" => args.flat_solver = true,
+            "--compress" => {
+                args.compress = value(&mut i)?.parse().map_err(|e| format!("--compress: {e}"))?
+            }
+            "--verbose" => args.verbose = true,
             "--load" => args.load = Some(value(&mut i)?),
             "--save" => args.save = Some(value(&mut i)?),
             "--trace" => args.trace = Some(value(&mut i)?),
@@ -330,6 +376,7 @@ fn parse_sched_args(argv: &[String]) -> Result<SchedArgs, String> {
                             [--njobs N] [--seed S] [--gpus N] [--engine E] \
                             [--mix comm-heavy|mixed|tiny] [--iters N] [--rdma] \
                             [--racks NODES_PER_RACK] [--flat-solver] \
+                            [--compress none|fp16|int8|topk:K] [--verbose] \
                             [--load FILE.tsv] [--save FILE.tsv] [--trace OUT.json] [--jobs N] \
                             [--chaos] [--chaos-events N] [--chaos-horizon SECS] \
                             [--recovery restart|shrink|fail]\n       \
@@ -394,6 +441,11 @@ fn cmd_schedule_stream(args: &SchedArgs) -> Result<(), String> {
         arrivals.engine = Some(aiacc::sched::engine_by_label(label).ok_or_else(|| {
             format!("unknown engine {label}; use aiacc|horovod|pytorch-ddp|byteps|mxnet-kvstore")
         })?);
+    }
+    if args.compress != Scheme::None {
+        if let Some(aiacc::trainer::EngineKind::Aiacc(c)) = &mut arrivals.engine {
+            *c = c.with_compress(args.compress);
+        }
     }
     // The batch workload field is unused in streaming mode; a one-job
     // placeholder satisfies the constructor.
@@ -514,6 +566,15 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
             Workload::generate(&cfg)
         }
     };
+    // `--compress` applies to every job that runs the AIACC engine; the
+    // baseline engines have no compression knob.
+    if args.compress != Scheme::None {
+        for j in &mut workload.jobs {
+            if let aiacc::trainer::EngineKind::Aiacc(c) = &mut j.engine {
+                *c = c.with_compress(args.compress);
+            }
+        }
+    }
     let chaos_plan = if args.chaos {
         let plan = FaultPlan::chaos(
             args.seed,
@@ -573,7 +634,9 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
     for (policy, (block, solver, json)) in policies.iter().zip(&blocks) {
         println!("# policy {}", policy.name());
         print!("{block}");
-        eprintln!("[aiacc-sim] solver ({}): {solver}", policy.name());
+        if verbose_enabled(args.verbose) {
+            eprintln!("[aiacc-sim] solver ({}): {solver}", policy.name());
+        }
         if let Some(path) = &args.trace {
             let out = if policies.len() == 1 {
                 path.clone()
@@ -588,7 +651,7 @@ fn cmd_schedule(argv: &[String]) -> Result<(), String> {
 }
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("schedule") {
         if let Err(msg) = cmd_schedule(&argv[1..]) {
             eprintln!("{msg}");
@@ -596,7 +659,11 @@ fn main() {
         }
         return;
     }
-    let args = match parse_args() {
+    // `train` is the implicit default subcommand; accept it spelled out.
+    if argv.first().map(String::as_str) == Some("train") {
+        argv.remove(0);
+    }
+    let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -650,8 +717,8 @@ fn main() {
     if let Some(g) = args.granularity_mib {
         aiacc_cfg = aiacc_cfg.with_granularity(g * 1024.0 * 1024.0);
     }
-    if args.compression {
-        aiacc_cfg = aiacc_cfg.with_compression(true);
+    if args.compress != Scheme::None {
+        aiacc_cfg = aiacc_cfg.with_compress(args.compress);
     }
     if args.tree {
         aiacc_cfg = aiacc_cfg.with_algo(Algo::Tree);
@@ -667,6 +734,9 @@ fn main() {
             report.best_value
         );
         aiacc_cfg = tuned;
+        if args.compress != Scheme::None {
+            aiacc_cfg = aiacc_cfg.with_compress(args.compress);
+        }
     }
 
     let engine = match args.engine.as_str() {
@@ -700,14 +770,46 @@ fn main() {
     let detail = sim.run_iteration_detailed();
     let report = sim.run();
     println!("{report}");
-    let bd = sim.solve_breakdown();
-    eprintln!(
-        "[aiacc-sim] solver: {} | {:.3}s solve / {:.3}s apply / {:.3}s queue",
-        sim.solver_stats(),
-        bd.solve_s,
-        bd.apply_s,
-        bd.queue_s,
-    );
+    if args.compress.is_lossy() && args.engine == "aiacc" {
+        // Measure what the lossy wire actually costs: train a real MLP
+        // through the exact data plane twice — uncompressed and compressed
+        // (with error feedback) — and report the loss delta alongside the
+        // measured per-step wire bytes. Serial and fully seeded, so the
+        // lines are byte-identical for any `--jobs` count.
+        let make = |scheme: Scheme| {
+            let mut c = DataParallelConfig::new(vec![4, 16, 3], 4, 8);
+            c.compress = scheme;
+            DataParallelTrainer::new(c)
+        };
+        let (mut exact, mut lossy) = (make(Scheme::None), make(args.compress));
+        let loss_exact = exact.train(120).losses.last().copied().unwrap_or(f64::NAN);
+        let loss_lossy = lossy.train(120).losses.last().copied().unwrap_or(f64::NAN);
+        let test = Dataset::gaussian_blobs(1000, 4, 3, 12345);
+        let (wire_exact, wire_lossy) = (exact.last_step_wire_bytes(), lossy.last_step_wire_bytes());
+        println!(
+            "compressed data plane ({}): wire {} B/step vs {} B/step f32 ({:.1}x smaller) | \
+             final loss {:.4} vs {:.4} exact (delta {:+.4}) | accuracy {:.3} vs {:.3} exact",
+            args.compress,
+            wire_lossy,
+            wire_exact,
+            wire_exact as f64 / wire_lossy as f64,
+            loss_lossy,
+            loss_exact,
+            loss_lossy - loss_exact,
+            lossy.accuracy(&test),
+            exact.accuracy(&test),
+        );
+    }
+    if verbose_enabled(args.verbose) {
+        let bd = sim.solve_breakdown();
+        eprintln!(
+            "[aiacc-sim] solver: {} | {:.3}s solve / {:.3}s apply / {:.3}s queue",
+            sim.solver_stats(),
+            bd.solve_s,
+            bd.apply_s,
+            bd.queue_s,
+        );
+    }
     println!(
         "iteration breakdown: backward ends {:.1} ms | comm done {:.1} ms | tail {:.1} ms",
         detail.backward_end_secs * 1e3,

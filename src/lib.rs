@@ -39,6 +39,7 @@
 //! | [`cluster`] | GPU/node/cluster specs, topology, compute timing |
 //! | [`collectives`] | exact + timed ring/tree all-reduce |
 //! | [`optim`] | SGD, Adam, the Adam/SGD hybrid, LR decay, fp16 compression |
+//! | [`compress`] | gradient compressors: top-k + error feedback, fp16, int8, exact wire accounting |
 //! | [`core`] | **the paper's contribution**: sync vectors, packing, the multi-streamed engine, Perseus |
 //! | [`baselines`] | Horovod, PyTorch-DDP, BytePS, MXNet-KVStore |
 //! | [`autotune`] | MAB meta-solver over grid/PBT/Bayesian/Hyperband |
@@ -52,6 +53,7 @@ pub use aiacc_autotune as autotune;
 pub use aiacc_baselines as baselines;
 pub use aiacc_cluster as cluster;
 pub use aiacc_collectives as collectives;
+pub use aiacc_compress as compress;
 pub use aiacc_core as core;
 pub use aiacc_dnn as dnn;
 pub use aiacc_optim as optim;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use aiacc_cluster::{ClusterNet, ClusterSpec, ComputeModel};
     pub use aiacc_collectives::dataplane::{ring_allreduce, tree_allreduce, ReduceOp};
     pub use aiacc_collectives::{Algo, CollectiveEngine, CollectiveSpec, RingMode};
+    pub use aiacc_compress::{Compressor, ErrorFeedback, Scheme};
     pub use aiacc_core::{
         AiaccConfig, AiaccEngine, GradientRegistry, Perseus, PerseusConfig, SyncVector,
     };

@@ -83,7 +83,7 @@ fn all_optimizers_train_the_distributed_mlp() {
 fn fp16_wire_compression_precision_is_adequate_for_training() {
     let mut exact = DataParallelTrainer::new(DataParallelConfig::new(vec![4, 16, 3], 4, 8));
     let mut cfg = DataParallelConfig::new(vec![4, 16, 3], 4, 8);
-    cfg.compression = true;
+    cfg.compress = Scheme::Fp16;
     let mut lossy = DataParallelTrainer::new(cfg);
     exact.train(100);
     lossy.train(100);

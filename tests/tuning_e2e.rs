@@ -16,6 +16,7 @@ fn tuner_beats_the_worst_corner_comfortably() {
         streams: 1,
         granularity: 256.0 * 1024.0 * 1024.0,
         algo: TuneAlgo::Ring,
+        compress: Default::default(),
     });
     assert!(
         report.best_value < worst * 0.6,
@@ -103,7 +104,12 @@ fn graph_signatures_feed_the_cache_sensibly() {
 
 #[test]
 fn tuned_config_converts_to_engine_config() {
-    let t = TuningConfig { streams: 12, granularity: 8.0 * 1024.0 * 1024.0, algo: TuneAlgo::Tree };
+    let t = TuningConfig {
+        streams: 12,
+        granularity: 8.0 * 1024.0 * 1024.0,
+        algo: TuneAlgo::Tree,
+        compress: Default::default(),
+    };
     let cfg = aiacc_config_from(&t);
     assert_eq!(cfg.streams, 12);
     assert_eq!(cfg.granularity, 8.0 * 1024.0 * 1024.0);
